@@ -1,0 +1,106 @@
+// Command ctjam-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ctjam-experiments [-id fig6a] [-scale paper|quick] [-engine mdp|dqn]
+//	                  [-csv dir] [-list]
+//
+// With -id all (the default) every registered experiment runs in order,
+// printing paper-vs-measured tables; -csv additionally writes one CSV per
+// experiment into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ctjam/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ctjam-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ctjam-experiments", flag.ContinueOnError)
+	var (
+		id     = fs.String("id", "all", "experiment id (see -list) or 'all'")
+		scale  = fs.String("scale", "paper", "budget: 'paper' or 'quick'")
+		engine = fs.String("engine", "mdp", "RL FH engine: 'mdp' (exact policy) or 'dqn' (train per point)")
+		csvDir = fs.String("csv", "", "directory to write per-experiment CSV files")
+		list   = fs.Bool("list", false, "list experiment ids and exit")
+		seed   = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, eid := range experiments.IDs() {
+			desc, err := experiments.Describe(eid)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s %s\n", eid, desc)
+		}
+		return nil
+	}
+
+	opts := experiments.DefaultOptions()
+	switch *scale {
+	case "paper":
+	case "quick":
+		opts = experiments.QuickOptions()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	switch *engine {
+	case "mdp":
+		opts.Engine = experiments.EngineMDP
+	case "dqn":
+		opts.Engine = experiments.EngineDQN
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	opts.Seed = *seed
+
+	ids := experiments.IDs()
+	if *id != "all" {
+		ids = []string{*id}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, eid := range ids {
+		res, err := experiments.Run(eid, opts)
+		if err != nil {
+			return err
+		}
+		if err := experiments.Format(os.Stdout, res); err != nil {
+			return err
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, eid+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteCSV(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

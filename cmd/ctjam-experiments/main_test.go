@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-id", "fig9a", "-scale", "quick", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig9a.csv")); err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-scale", "gigantic"}); err == nil {
+		t.Fatal("expected bad-scale error")
+	}
+	if err := run([]string{"-engine", "quantum"}); err == nil {
+		t.Fatal("expected bad-engine error")
+	}
+	if err := run([]string{"-id", "figZZ", "-scale", "quick"}); err == nil {
+		t.Fatal("expected unknown-id error")
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	if err := run([]string{"-slots", "30", "-slot-duration", "1s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+	if err := run([]string{"-mode", "quantum"}); err == nil {
+		t.Fatal("expected bad-mode error")
+	}
+}

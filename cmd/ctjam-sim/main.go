@@ -1,0 +1,73 @@
+// Command ctjam-sim evaluates anti-jamming schemes in the slot-level
+// jamming environment and prints the paper's Table I metrics for each.
+//
+// Usage:
+//
+//	ctjam-sim [-slots 20000] [-mode max|random] [-lj 100] [-lh 50]
+//	          [-schemes mdp,passive,random,static] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ctjam"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ctjam-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ctjam-sim", flag.ContinueOnError)
+	var (
+		slots   = fs.Int("slots", 20000, "evaluation slots")
+		mode    = fs.String("mode", "max", "jammer power mode: 'max' or 'random'")
+		lj      = fs.Float64("lj", 100, "loss of a successful jam (L_J)")
+		lh      = fs.Float64("lh", 50, "loss of a frequency hop (L_H)")
+		schemes = fs.String("schemes", "mdp,passive,random,static", "comma-separated schemes")
+		seed    = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := ctjam.DefaultConfig()
+	cfg.Jammer = ctjam.JammerMode(*mode)
+	cfg.LossJam = *lj
+	cfg.LossHop = *lh
+	cfg.Seed = *seed
+
+	fmt.Printf("%-8s %8s %8s %8s %8s %8s %8s\n",
+		"scheme", "ST%", "AH%", "SH%", "AP%", "SP%", "jam%")
+	for _, name := range strings.Split(*schemes, ",") {
+		scheme := ctjam.Scheme(strings.TrimSpace(name))
+		var policy *ctjam.Policy
+		if scheme == ctjam.SchemeMDP {
+			var err error
+			policy, err = ctjam.SolveMDP(cfg)
+			if err != nil {
+				return err
+			}
+		}
+		if scheme == ctjam.SchemeRL {
+			var err error
+			policy, err = ctjam.TrainDQN(cfg, 30000)
+			if err != nil {
+				return err
+			}
+		}
+		m, err := ctjam.Evaluate(cfg, scheme, policy, *slots)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+			scheme, 100*m.ST, 100*m.AH, 100*m.SH, 100*m.AP, 100*m.SP, 100*m.JamRate)
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	if err := run([]string{"-slots", "800", "-schemes", "passive,static"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMDPScheme(t *testing.T) {
+	if err := run([]string{"-slots", "500", "-schemes", "mdp", "-mode", "random"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+	if err := run([]string{"-schemes", "quantum"}); err == nil {
+		t.Fatal("expected unknown-scheme error")
+	}
+}

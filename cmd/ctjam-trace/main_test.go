@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-slots", "300", "-scheme", "passive"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 301 { // header + 300 slots
+		t.Fatalf("got %d lines, want 301", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "slot,channel,power,outcome") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,") {
+		t.Fatalf("first record = %q", lines[1])
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-slots", "100", "-scheme", "mdp", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 101 {
+		t.Fatalf("file has %d lines, want 101", lines)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("stdout should be empty when -out is set")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("expected flag error")
+	}
+	if err := run([]string{"-scheme", "quantum"}, &buf); err == nil {
+		t.Fatal("expected unknown-scheme error")
+	}
+	if err := run([]string{"-mode", "quantum"}, &buf); err == nil {
+		t.Fatal("expected bad-mode error")
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is slow")
+	}
+	out := filepath.Join(t.TempDir(), "model.ctjm")
+	if err := run([]string{"-slots", "1500", "-eval", "1000", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() < 1024 {
+		t.Fatalf("model file only %d bytes", info.Size())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+	if err := run([]string{"-mode", "quantum", "-slots", "10", "-eval", "10"}); err == nil {
+		t.Fatal("expected bad-mode error")
+	}
+}

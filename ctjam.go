@@ -1,0 +1,533 @@
+// Package ctjam reproduces "Defending against Cross-Technology Jamming in
+// Heterogeneous IoT Systems" (ICDCS 2022): a hybrid anti-jamming scheme for
+// ZigBee networks under attack by a Wi-Fi cross-technology jammer, combining
+// frequency hopping and power control, modeled as an MDP and solved both
+// exactly (value iteration) and with a Deep Q-Network.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Evaluate runs an anti-jamming scheme in the slot-level jamming
+//     environment and reports the paper's Table I metrics.
+//   - TrainDQN trains the paper's DQN scheme and returns a persistable
+//     policy.
+//   - FieldCompare runs the discrete-event testbed simulator (goodput per
+//     scheme, Fig. 11a).
+//   - EmulateZigBee builds an "EmuBee" waveform: a Wi-Fi-transmittable
+//     emulation of a ZigBee signal (Fig. 1-2).
+//   - RunExperiment regenerates any of the paper's figures/tables by id.
+package ctjam
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ctjam/internal/core"
+	"ctjam/internal/env"
+	"ctjam/internal/experiments"
+	"ctjam/internal/iot"
+	"ctjam/internal/jammer"
+	"ctjam/internal/phy/emulate"
+	"ctjam/internal/phy/zigbee"
+)
+
+// JammerMode selects the attacker's power strategy.
+type JammerMode string
+
+// Jammer modes (§II-C1).
+const (
+	// JammerMax is the high-performance mode: always maximum power.
+	JammerMax JammerMode = "max"
+	// JammerRandom is the hidden mode: uniformly random power.
+	JammerRandom JammerMode = "random"
+)
+
+func (m JammerMode) internal() (jammer.PowerMode, error) {
+	switch m {
+	case JammerMax, "":
+		return jammer.ModeMax, nil
+	case JammerRandom:
+		return jammer.ModeRandom, nil
+	default:
+		return 0, fmt.Errorf("ctjam: unknown jammer mode %q", m)
+	}
+}
+
+// Scheme names an anti-jamming scheme.
+type Scheme string
+
+// Schemes compared in §IV-D3.
+const (
+	// SchemeRL is the paper's DQN-learned policy (requires TrainDQN) —
+	// "RL FH".
+	SchemeRL Scheme = "rl"
+	// SchemeMDP is the exact optimal policy from value iteration; the
+	// DQN approximates it.
+	SchemeMDP Scheme = "mdp"
+	// SchemePassive hops only after the error rate trips — "PSV FH".
+	SchemePassive Scheme = "passive"
+	// SchemeRandom picks FH or PC at random each slot — "Rand FH".
+	SchemeRandom Scheme = "random"
+	// SchemeStatic never defends (reference victim).
+	SchemeStatic Scheme = "static"
+	// SchemeQLearning is the tabular Q-learning baseline (requires
+	// TrainQLearning) the paper's DQN is motivated against.
+	SchemeQLearning Scheme = "qlearning"
+)
+
+// Config describes the jamming scenario (paper defaults via DefaultConfig).
+type Config struct {
+	// Channels is K, the ZigBee channel count (16).
+	Channels int
+	// SweepWidth is m, channels jammed per slot (4).
+	SweepWidth int
+	// PowerLevels is the number of victim/jammer power levels (10).
+	PowerLevels int
+	// TxPowerLow is the victim's lowest power loss L^T (6); levels run
+	// [TxPowerLow, TxPowerLow+PowerLevels-1]. The jammer's levels run
+	// [JamPowerLow, ...] analogously (11).
+	TxPowerLow  float64
+	JamPowerLow float64
+	// LossHop is L_H (50) and LossJam is L_J (100) from Eq. (5).
+	LossHop float64
+	LossJam float64
+	// Jammer selects the attacker's power mode.
+	Jammer JammerMode
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's simulation parameters (§IV-A1).
+func DefaultConfig() Config {
+	return Config{
+		Channels:    16,
+		SweepWidth:  4,
+		PowerLevels: 10,
+		TxPowerLow:  6,
+		JamPowerLow: 11,
+		LossHop:     50,
+		LossJam:     100,
+		Jammer:      JammerMax,
+		Seed:        1,
+	}
+}
+
+func (c Config) internal() (env.Config, error) {
+	mode, err := c.Jammer.internal()
+	if err != nil {
+		return env.Config{}, err
+	}
+	if c.PowerLevels <= 0 {
+		return env.Config{}, fmt.Errorf("ctjam: power levels %d must be positive", c.PowerLevels)
+	}
+	tx := make([]float64, c.PowerLevels)
+	jam := make([]float64, c.PowerLevels)
+	for i := 0; i < c.PowerLevels; i++ {
+		tx[i] = c.TxPowerLow + float64(i)
+		jam[i] = c.JamPowerLow + float64(i)
+	}
+	cfg := env.Config{
+		Channels:   c.Channels,
+		SweepWidth: c.SweepWidth,
+		TxPowers:   tx,
+		JamPowers:  jam,
+		JammerMode: mode,
+		LossHop:    c.LossHop,
+		LossJam:    c.LossJam,
+		Seed:       c.Seed,
+	}
+	if err := cfg.Validate(); err != nil {
+		return env.Config{}, err
+	}
+	return cfg, nil
+}
+
+// Metrics are the paper's Table I evaluation metrics, as fractions in
+// [0, 1].
+type Metrics struct {
+	// ST is the success rate of transmission.
+	ST float64
+	// AH / SH are the adoption and success rates of frequency hopping.
+	AH, SH float64
+	// AP / SP are the adoption and success rates of power control.
+	AP, SP float64
+	// JamRate is the fraction of slots spent co-channel with the jammer.
+	JamRate float64
+	// Slots is the evaluation length.
+	Slots int
+}
+
+// Policy is a trained (or solved) anti-jamming policy.
+type Policy struct {
+	agent env.Agent
+	dqn   *core.DQNAgent // non-nil when the policy is a trained DQN
+}
+
+// TrainDQN trains the paper's DQN scheme online in the configured
+// environment for trainSlots slots (§IV-B uses >120k transitions; 30k
+// reaches the reported performance in this simulator).
+func TrainDQN(cfg Config, trainSlots int) (*Policy, error) {
+	ecfg, err := cfg.internal()
+	if err != nil {
+		return nil, err
+	}
+	acfg := core.DefaultDQNAgentConfig(ecfg.Channels, len(ecfg.TxPowers), ecfg.SweepWidth)
+	acfg.Seed = cfg.Seed
+	if trainSlots > 0 {
+		acfg.Epsilon.DecaySteps = trainSlots * 2 / 3
+	}
+	agent, err := core.NewDQNAgent(acfg)
+	if err != nil {
+		return nil, err
+	}
+	e, err := env.New(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := agent.Train(e, trainSlots); err != nil {
+		return nil, err
+	}
+	return &Policy{agent: agent, dqn: agent}, nil
+}
+
+// TrainQLearning trains the tabular Q-learning baseline over the MDP's
+// belief-state space for trainSlots online slots.
+func TrainQLearning(cfg Config, trainSlots int) (*Policy, error) {
+	ecfg, err := cfg.internal()
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.NewModel(core.ParamsFromEnv(ecfg))
+	if err != nil {
+		return nil, err
+	}
+	agent, err := core.NewQAgent(model, ecfg.Channels, ecfg.SweepWidth, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	e, err := env.New(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := agent.Train(e, trainSlots); err != nil {
+		return nil, err
+	}
+	return &Policy{agent: agent}, nil
+}
+
+// SolveMDP computes the exact optimal policy by value iteration on the
+// paper's MDP (Eq. 3-14).
+func SolveMDP(cfg Config) (*Policy, error) {
+	ecfg, err := cfg.internal()
+	if err != nil {
+		return nil, err
+	}
+	model, err := core.NewModel(core.ParamsFromEnv(ecfg))
+	if err != nil {
+		return nil, err
+	}
+	agent, err := core.NewMDPAgent(model, nil, ecfg.Channels, ecfg.SweepWidth)
+	if err != nil {
+		return nil, err
+	}
+	return &Policy{agent: agent}, nil
+}
+
+// Save writes a trained DQN policy's network to w. Only DQN policies are
+// persistable.
+func (p *Policy) Save(w io.Writer) error {
+	if p.dqn == nil {
+		return fmt.Errorf("ctjam: only DQN policies can be saved")
+	}
+	return p.dqn.SaveModel(w)
+}
+
+// Load replaces a DQN policy's network with one previously saved.
+func (p *Policy) Load(r io.Reader) error {
+	if p.dqn == nil {
+		return fmt.Errorf("ctjam: only DQN policies can be loaded")
+	}
+	return p.dqn.LoadModel(r)
+}
+
+// ParamCount returns the number of network parameters of a DQN policy
+// (0 for exact policies).
+func (p *Policy) ParamCount() int {
+	if p.dqn == nil {
+		return 0
+	}
+	return p.dqn.Network().ParamCount()
+}
+
+// agentFor builds the agent for a scheme.
+func agentFor(scheme Scheme, policy *Policy, ecfg env.Config) (env.Agent, error) {
+	switch scheme {
+	case SchemeRL, SchemeMDP, SchemeQLearning:
+		if policy == nil {
+			return nil, fmt.Errorf("ctjam: scheme %q needs a policy (TrainDQN, SolveMDP or TrainQLearning)", scheme)
+		}
+		return policy.agent, nil
+	case SchemePassive:
+		return core.NewPassiveFH(ecfg.Channels, ecfg.SweepWidth)
+	case SchemeRandom:
+		return core.NewRandomFH(ecfg.Channels, ecfg.SweepWidth, len(ecfg.TxPowers))
+	case SchemeStatic:
+		return core.Static{}, nil
+	default:
+		return nil, fmt.Errorf("ctjam: unknown scheme %q", scheme)
+	}
+}
+
+// Evaluate runs a scheme for the given number of slots and reports the
+// Table I metrics. For SchemeRL / SchemeMDP pass the policy from TrainDQN /
+// SolveMDP; for the baselines policy may be nil.
+func Evaluate(cfg Config, scheme Scheme, policy *Policy, slots int) (Metrics, error) {
+	ecfg, err := cfg.internal()
+	if err != nil {
+		return Metrics{}, err
+	}
+	agent, err := agentFor(scheme, policy, ecfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	e, err := env.New(ecfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	c, err := env.Run(e, agent, slots)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{
+		ST: c.ST(), AH: c.AH(), SH: c.SH(), AP: c.AP(), SP: c.SP(),
+		JamRate: c.JamRate(), Slots: c.Slots,
+	}, nil
+}
+
+// MDPAnalysis exposes the §III-B structural analysis of the solved
+// anti-jamming MDP.
+type MDPAnalysis struct {
+	// Threshold is n*: stay for n < n*, hop for n >= n* (Theorem III.4).
+	// A value of SweepCycle means "never hop".
+	Threshold int
+	// IsThreshold reports whether the optimal policy has the proven
+	// single-crossing structure.
+	IsThreshold bool
+	// QStay and QHop are the per-n best action values (n = 1.. cycle-1):
+	// QStay decreasing (Lemma III.2) and QHop increasing (Lemma III.3).
+	QStay []float64
+	QHop  []float64
+}
+
+// AnalyzeMDP solves the anti-jamming MDP for the configuration and returns
+// its threshold-policy structure.
+func AnalyzeMDP(cfg Config) (*MDPAnalysis, error) {
+	ecfg, err := cfg.internal()
+	if err != nil {
+		return nil, err
+	}
+	_, _, a, err := core.SolveAndAnalyze(core.ParamsFromEnv(ecfg), 0.9)
+	if err != nil {
+		return nil, err
+	}
+	return &MDPAnalysis{
+		Threshold:   a.Threshold,
+		IsThreshold: a.IsThreshold,
+		QStay:       append([]float64(nil), a.QStay...),
+		QHop:        append([]float64(nil), a.QHop...),
+	}, nil
+}
+
+// FieldResult reports one scheme's outcome in the testbed simulator.
+type FieldResult struct {
+	Scheme Scheme
+	// GoodputPktsPerSlot is delivered payload packets per Tx slot.
+	GoodputPktsPerSlot float64
+	// Utilization is the mean fraction of the slot spent on data.
+	Utilization float64
+	// ST is the slot-level success rate.
+	ST float64
+}
+
+// FieldOptions tune the field simulator.
+type FieldOptions struct {
+	// Nodes is the number of peripheral nodes (default 3).
+	Nodes int
+	// SlotDuration is the Tx slot length (default 3 s).
+	SlotDuration time.Duration
+	// JammerSlot is the jammer's slot length (default = SlotDuration).
+	JammerSlot time.Duration
+	// Slots is the number of Tx slots to simulate (default 400).
+	Slots int
+	// UseCSMA enables the full CSMA/CA contention model instead of the
+	// calibrated fixed LBT cost.
+	UseCSMA bool
+}
+
+// FieldCompare runs the named schemes (plus a no-jammer reference when
+// includeNoJammer is set) through the discrete-event field simulator,
+// reproducing the Fig. 11(a) comparison.
+func FieldCompare(cfg Config, schemes []Scheme, policy *Policy, opts FieldOptions, includeNoJammer bool) ([]FieldResult, error) {
+	ecfg, err := cfg.internal()
+	if err != nil {
+		return nil, err
+	}
+	icfg := iot.DefaultConfig()
+	icfg.Channels = ecfg.Channels
+	icfg.SweepWidth = ecfg.SweepWidth
+	icfg.TxPowers = ecfg.TxPowers
+	icfg.JamPowers = ecfg.JamPowers
+	icfg.JammerMode = ecfg.JammerMode
+	icfg.Seed = cfg.Seed
+	if opts.Nodes > 0 {
+		icfg.Nodes = opts.Nodes
+	}
+	if opts.SlotDuration > 0 {
+		icfg.SlotDuration = opts.SlotDuration
+		icfg.JammerSlot = opts.SlotDuration
+	}
+	if opts.JammerSlot > 0 {
+		icfg.JammerSlot = opts.JammerSlot
+	}
+	icfg.UseCSMA = opts.UseCSMA
+	slots := opts.Slots
+	if slots <= 0 {
+		slots = 400
+	}
+
+	var out []FieldResult
+	for _, scheme := range schemes {
+		agent, err := agentFor(scheme, policy, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := iot.New(icfg)
+		if err != nil {
+			return nil, err
+		}
+		run, err := sim.Run(agent, slots)
+		if err != nil {
+			return nil, fmt.Errorf("ctjam: field run %q: %w", scheme, err)
+		}
+		out = append(out, FieldResult{
+			Scheme:             scheme,
+			GoodputPktsPerSlot: run.GoodputPktsPerSlot,
+			Utilization:        run.MeanUtilization,
+			ST:                 run.Counters.ST(),
+		})
+	}
+	if includeNoJammer {
+		clean := icfg
+		clean.JammerEnabled = false
+		sim, err := iot.New(clean)
+		if err != nil {
+			return nil, err
+		}
+		run, err := sim.Run(core.Static{}, slots)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FieldResult{
+			Scheme:             "no-jammer",
+			GoodputPktsPerSlot: run.GoodputPktsPerSlot,
+			Utilization:        run.MeanUtilization,
+			ST:                 run.Counters.ST(),
+		})
+	}
+	return out, nil
+}
+
+// Emulation is the outcome of building an EmuBee waveform.
+type Emulation struct {
+	// Alpha is the optimized 64-QAM scale of Eq. (2).
+	Alpha float64
+	// QuantError is E(alpha) of Eq. (1).
+	QuantError float64
+	// EVM measures waveform fidelity against the designed signal.
+	EVM float64
+	// Wave is the emulated complex-baseband waveform (20 MHz sampling).
+	Wave []complex128
+	// WiFiPayloadBits is the bit sequence a stock Wi-Fi transmitter
+	// sends to emit Wave.
+	WiFiPayloadBits []uint8
+	// SymbolErrors counts ZigBee demodulation errors of Wave against the
+	// designed symbols, and Symbols the total.
+	SymbolErrors int
+	Symbols      int
+}
+
+// EmulateZigBee builds the cross-technology jamming waveform: a Wi-Fi
+// 64-QAM OFDM transmission that a ZigBee receiver demodulates as the given
+// symbols (values 0..15). optimizeAlpha selects the paper's quantization
+// optimization; disabling it reproduces the prior designs' naive emulation.
+func EmulateZigBee(symbols []uint8, optimizeAlpha bool) (*Emulation, error) {
+	if len(symbols) == 0 {
+		return nil, fmt.Errorf("ctjam: no symbols to emulate")
+	}
+	mod, err := zigbee.NewModulator(zigbee.DefaultSamplesPerChip)
+	if err != nil {
+		return nil, err
+	}
+	designed, err := mod.ModulateSymbols(symbols)
+	if err != nil {
+		return nil, err
+	}
+	em, err := emulate.New(emulate.WithAlphaOptimization(optimizeAlpha))
+	if err != nil {
+		return nil, err
+	}
+	res, err := em.Emulate(designed)
+	if err != nil {
+		return nil, err
+	}
+	got, err := mod.DemodulateSymbols(res.Wave, len(symbols))
+	if err != nil {
+		return nil, err
+	}
+	errs := 0
+	for i := range symbols {
+		if got[i] != symbols[i] {
+			errs++
+		}
+	}
+	return &Emulation{
+		Alpha:           res.Alpha,
+		QuantError:      res.QuantError,
+		EVM:             res.EVM,
+		Wave:            res.Wave,
+		WiFiPayloadBits: res.Bits,
+		SymbolErrors:    errs,
+		Symbols:         len(symbols),
+	}, nil
+}
+
+// ExperimentIDs lists the reproducible paper figures/tables.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// DescribeExperiment returns an experiment's one-line description.
+func DescribeExperiment(id string) (string, error) { return experiments.Describe(id) }
+
+// ExperimentScale selects the budget for RunExperiment.
+type ExperimentScale int
+
+// Experiment scales.
+const (
+	// ScalePaper uses the paper's evaluation budgets (20000 slots etc.).
+	ScalePaper ExperimentScale = iota + 1
+	// ScaleQuick uses reduced budgets for smoke runs.
+	ScaleQuick
+)
+
+// RunExperiment regenerates one paper figure/table and writes the
+// paper-vs-measured comparison to w.
+func RunExperiment(w io.Writer, id string, scale ExperimentScale) error {
+	opts := experiments.DefaultOptions()
+	if scale == ScaleQuick {
+		opts = experiments.QuickOptions()
+	}
+	res, err := experiments.Run(id, opts)
+	if err != nil {
+		return err
+	}
+	return experiments.Format(w, res)
+}

@@ -1,0 +1,54 @@
+// EmuBee: build the cross-technology jamming waveform of §II-A.
+//
+// A Wi-Fi device cannot transmit arbitrary samples — everything it emits
+// passes through scrambling, convolutional coding, interleaving, 64-QAM and
+// OFDM. This example inverts that chain to find the Wi-Fi payload bits whose
+// transmission *looks like* a ZigBee signal, using the paper's optimized
+// constellation scaling (Eq. 1-2), and verifies a ZigBee correlation
+// receiver decodes the emitted waveform.
+//
+// Run with:
+//
+//	go run ./examples/emubee
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ctjam"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	symbols := make([]uint8, 24)
+	for i := range symbols {
+		symbols[i] = uint8(rng.Intn(16))
+	}
+	fmt.Printf("target ZigBee symbols (%d): %v\n\n", len(symbols), symbols)
+
+	optimized, err := ctjam.EmulateZigBee(symbols, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naive, err := ctjam.EmulateZigBee(symbols, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("emulation quality (paper's optimization vs prior naive designs):")
+	fmt.Printf("  %-26s %12s %12s\n", "", "optimized", "naive")
+	fmt.Printf("  %-26s %12.3f %12.3f\n", "alpha (Eq. 2)", optimized.Alpha, naive.Alpha)
+	fmt.Printf("  %-26s %12.1f %12.1f\n", "E(alpha) (Eq. 1)", optimized.QuantError, naive.QuantError)
+	fmt.Printf("  %-26s %12.3f %12.3f\n", "EVM vs designed", optimized.EVM, naive.EVM)
+	fmt.Printf("  %-26s %9d/%-3d %9d/%-3d\n", "symbol errors at victim",
+		optimized.SymbolErrors, optimized.Symbols, naive.SymbolErrors, naive.Symbols)
+
+	improvement := naive.QuantError / optimized.QuantError
+	fmt.Printf("\nthe optimized quantization cuts E(alpha) by %.1fx: the full 64-QAM\n", improvement)
+	fmt.Println("constellation is exploited instead of its native unit scale.")
+	fmt.Printf("\nthe %d-bit Wi-Fi payload regenerates the waveform through any stock\n",
+		len(optimized.WiFiPayloadBits))
+	fmt.Println("802.11g transmitter — the jamming attack needs no special hardware.")
+}

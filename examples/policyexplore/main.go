@@ -1,0 +1,73 @@
+// Policy exploration: the §III-B structure of the optimal defense.
+//
+// The paper proves the optimal stay/hop decision is a threshold in n (the
+// number of consecutive safe slots on the current channel), and that the
+// threshold n* falls as the jamming loss L_J grows, rises with the hopping
+// loss L_H, and rises with the jammer's sweep cycle. This example solves
+// the MDP across those parameters and prints the thresholds, making the
+// theorems visible.
+//
+// Run with:
+//
+//	go run ./examples/policyexplore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ctjam"
+)
+
+func main() {
+	base := ctjam.DefaultConfig()
+	base.Jammer = ctjam.JammerRandom
+
+	fmt.Println("Theorem III.5: threshold n* vs the jamming loss L_J")
+	for _, lj := range []float64{20, 40, 60, 100, 200, 400} {
+		cfg := base
+		cfg.LossJam = lj
+		report(cfg, fmt.Sprintf("L_J=%3.0f", lj))
+	}
+
+	fmt.Println("\nTheorem III.5: threshold n* vs the hopping loss L_H")
+	for _, lh := range []float64{0, 25, 50, 100, 200} {
+		cfg := base
+		cfg.LossHop = lh
+		report(cfg, fmt.Sprintf("L_H=%3.0f", lh))
+	}
+
+	fmt.Println("\nTheorem III.5: threshold n* vs the sweep cycle ceil(K/m)")
+	for _, sw := range []struct{ channels, width int }{
+		{16, 8}, {16, 4}, {16, 2}, {32, 2},
+	} {
+		cfg := base
+		cfg.Channels = sw.channels
+		cfg.SweepWidth = sw.width
+		cycle := (sw.channels + sw.width - 1) / sw.width
+		report(cfg, fmt.Sprintf("cycle=%2d", cycle))
+	}
+}
+
+func report(cfg ctjam.Config, label string) {
+	a, err := ctjam.AnalyzeMDP(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	structure := "threshold policy"
+	if !a.IsThreshold {
+		structure = "NOT a threshold policy (!)"
+	}
+	fmt.Printf("  %s  n*=%d  (%s; Qstay %s, Qhop %s)\n",
+		label, a.Threshold, structure, trend(a.QStay), trend(a.QHop))
+}
+
+func trend(xs []float64) string {
+	if len(xs) < 2 {
+		return "flat"
+	}
+	if xs[len(xs)-1] >= xs[0] {
+		return "increasing"
+	}
+	return "decreasing"
+}

@@ -1,0 +1,51 @@
+// Quickstart: defend a ZigBee network against a cross-technology jammer.
+//
+// This example trains the paper's DQN anti-jamming policy in the slot-level
+// simulator, compares it against the passive and random baselines, and
+// prints the Table I metrics — the minimal end-to-end use of the library.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ctjam"
+)
+
+func main() {
+	cfg := ctjam.DefaultConfig() // K=16 channels, max-power jammer, L_J=100
+	const (
+		trainSlots = 20000
+		evalSlots  = 10000
+	)
+
+	fmt.Printf("training the DQN anti-jamming policy (%d slots)...\n", trainSlots)
+	policy, err := ctjam.TrainDQN(cfg, trainSlots)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done: %d network parameters\n\n", policy.ParamCount())
+
+	schemes := []struct {
+		scheme ctjam.Scheme
+		policy *ctjam.Policy
+	}{
+		{ctjam.SchemeRL, policy},
+		{ctjam.SchemePassive, nil},
+		{ctjam.SchemeRandom, nil},
+		{ctjam.SchemeStatic, nil},
+	}
+	fmt.Printf("%-9s %7s %7s %7s\n", "scheme", "ST%", "AH%", "AP%")
+	for _, s := range schemes {
+		m, err := ctjam.Evaluate(cfg, s.scheme, s.policy, evalSlots)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %7.1f %7.1f %7.1f\n", s.scheme, 100*m.ST, 100*m.AH, 100*m.AP)
+	}
+	fmt.Println("\npaper: the RL scheme sustains ~78% successful slots under the CTJ attack")
+}

@@ -1,0 +1,65 @@
+// Smart-warehouse scenario: the paper's motivating deployment — a dense
+// heterogeneous IoT installation where a ZigBee sensor network shares the
+// 2.4 GHz band with Wi-Fi equipment, one of which turns hostile.
+//
+// This example runs the discrete-event field simulator with a larger star
+// network (8 shelf-sensor nodes reporting to a hub over 2 s slots) and
+// compares the anti-jamming schemes' goodput, both against a slot-aligned
+// jammer and against a fast-sweeping one.
+//
+// Run with:
+//
+//	go run ./examples/warehouse
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ctjam"
+)
+
+func main() {
+	cfg := ctjam.DefaultConfig()
+	cfg.Jammer = ctjam.JammerRandom // a stealthy attacker hiding its power
+
+	policy, err := ctjam.SolveMDP(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scenarios := []struct {
+		name    string
+		jamSlot time.Duration
+	}{
+		{"aligned jammer (2s)", 2 * time.Second},
+		{"fast jammer (0.5s)", 500 * time.Millisecond},
+	}
+	for _, sc := range scenarios {
+		fmt.Printf("== %s ==\n", sc.name)
+		results, err := ctjam.FieldCompare(cfg,
+			[]ctjam.Scheme{ctjam.SchemePassive, ctjam.SchemeRandom, ctjam.SchemeMDP},
+			policy,
+			ctjam.FieldOptions{
+				Nodes:        8,
+				SlotDuration: 2 * time.Second,
+				JammerSlot:   sc.jamSlot,
+				Slots:        300,
+				UseCSMA:      true, // 8 contending sensors: model the real MAC
+			},
+			true /* include no-jammer reference */)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline := results[len(results)-1].GoodputPktsPerSlot
+		for _, r := range results {
+			fmt.Printf("  %-10s goodput %5.0f pkts/slot (%5.1f%% of clean), ST %5.1f%%\n",
+				r.Scheme, r.GoodputPktsPerSlot,
+				100*r.GoodputPktsPerSlot/baseline, 100*r.ST)
+		}
+		fmt.Println()
+	}
+	fmt.Println("the hybrid FH+PC policy keeps the warehouse reporting even under attack;")
+	fmt.Println("passive recovery loses most of its slots to the wide-band CTJ jammer")
+}

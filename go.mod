@@ -1,0 +1,3 @@
+module ctjam
+
+go 1.22

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ctjam/internal/mdp"
+)
+
+// Analysis holds the structural view of a solved anti-jamming MDP used by
+// §III-B: per-state best stay/hop values and the threshold n*.
+type Analysis struct {
+	// QStay[n-1] and QHop[n-1] are max over power levels of
+	// Q(n, (s,p)) and Q(n, (h,p)) for n = 1..S-1.
+	QStay []float64
+	QHop  []float64
+	// Threshold is the paper's n* in 1..S: stay for n < n*, hop for
+	// n >= n*. Threshold = S means "never hop" in the counting states.
+	Threshold int
+	// IsThreshold reports whether the solved optimal policy actually has
+	// the single-crossing structure of Theorem III.4.
+	IsThreshold bool
+	// BestStayPower[n-1] / BestHopPower[n-1] are the argmax power
+	// indices.
+	BestStayPower []int
+	BestHopPower  []int
+}
+
+// Analyze solves nothing; it inspects an existing solution of the model.
+func Analyze(m *Model, sol *mdp.Solution) (*Analysis, error) {
+	nCounting := m.p.SweepCycle - 1
+	if len(sol.Q) != m.NumStates() {
+		return nil, fmt.Errorf("core: solution has %d states, model has %d", len(sol.Q), m.NumStates())
+	}
+	a := &Analysis{
+		QStay:         make([]float64, nCounting),
+		QHop:          make([]float64, nCounting),
+		BestStayPower: make([]int, nCounting),
+		BestHopPower:  make([]int, nCounting),
+	}
+	mm := len(m.p.TxPowers)
+	for n := 1; n <= nCounting; n++ {
+		state, err := m.StateOfN(n)
+		if err != nil {
+			return nil, err
+		}
+		bestStay, bestHop := math.Inf(-1), math.Inf(-1)
+		for p := 0; p < mm; p++ {
+			if q := sol.Q[state][p]; q > bestStay {
+				bestStay = q
+				a.BestStayPower[n-1] = p
+			}
+			if q := sol.Q[state][mm+p]; q > bestHop {
+				bestHop = q
+				a.BestHopPower[n-1] = p
+			}
+		}
+		a.QStay[n-1] = bestStay
+		a.QHop[n-1] = bestHop
+	}
+
+	// Find the first n where hopping wins; verify single crossing.
+	a.Threshold = m.p.SweepCycle // default: never hop
+	for n := 1; n <= nCounting; n++ {
+		if a.QHop[n-1] > a.QStay[n-1] {
+			a.Threshold = n
+			break
+		}
+	}
+	a.IsThreshold = true
+	for n := 1; n <= nCounting; n++ {
+		shouldHop := n >= a.Threshold
+		isHop := a.QHop[n-1] > a.QStay[n-1]
+		if isHop != shouldHop {
+			a.IsThreshold = false
+			break
+		}
+	}
+	return a, nil
+}
+
+// SolveAndAnalyze is the one-call convenience used by experiments.
+func SolveAndAnalyze(p Params, gamma float64) (*Model, *mdp.Solution, *Analysis, error) {
+	m, err := NewModel(p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sol, err := m.Solve(gamma)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	a, err := Analyze(m, sol)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return m, sol, a, nil
+}
+
+// IsMonotone reports whether xs is non-increasing (dir < 0) or
+// non-decreasing (dir > 0) within tolerance tol.
+func IsMonotone(xs []float64, dir int, tol float64) bool {
+	for i := 1; i < len(xs); i++ {
+		d := xs[i] - xs[i-1]
+		if dir > 0 && d < -tol {
+			return false
+		}
+		if dir < 0 && d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// QStayByN returns Q(n, (s, p)) for fixed power index p over n = 1..S-1,
+// the quantity Lemma III.2 proves decreasing.
+func QStayByN(m *Model, sol *mdp.Solution, power int) ([]float64, error) {
+	return qByN(m, sol, power, false)
+}
+
+// QHopByN returns Q(n, (h, p)) for fixed power index p over n = 1..S-1,
+// the quantity Lemma III.3 proves increasing.
+func QHopByN(m *Model, sol *mdp.Solution, power int) ([]float64, error) {
+	return qByN(m, sol, power, true)
+}
+
+func qByN(m *Model, sol *mdp.Solution, power int, hop bool) ([]float64, error) {
+	action, err := m.ActionOf(hop, power)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, m.p.SweepCycle-1)
+	for n := 1; n <= m.p.SweepCycle-1; n++ {
+		state, err := m.StateOfN(n)
+		if err != nil {
+			return nil, err
+		}
+		out[n-1] = sol.Q[state][action]
+	}
+	return out, nil
+}

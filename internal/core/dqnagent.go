@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"ctjam/internal/env"
+	"ctjam/internal/nn"
+	"ctjam/internal/rl"
+)
+
+// rewardScale normalizes Eq. (5) rewards (roughly [-165, -6]) into a range
+// friendly to MSE-trained Q networks.
+const rewardScale = 1.0 / 100.0
+
+// DQNAgentConfig configures the DQN-based anti-jamming scheme ("RL FH").
+type DQNAgentConfig struct {
+	// Channels is C and Powers is PL; the output layer has C*PL neurons
+	// as in the paper's Fig. 4.
+	Channels int
+	Powers   int
+	// SweepWidth is the jammer block width (for topology checks only).
+	SweepWidth int
+	// HistoryLen is I: the input layer has 3*I neurons covering the
+	// state, channel and power of the previous I slots.
+	HistoryLen int
+	// Hidden sizes the two fully connected hidden layers.
+	Hidden []int
+	// Gamma, LearningRate, BatchSize, BufferCapacity, WarmupSize,
+	// TargetSyncEvery and Epsilon feed the underlying rl.DQN.
+	Gamma           float64
+	LearningRate    float64
+	BatchSize       int
+	BufferCapacity  int
+	WarmupSize      int
+	TargetSyncEvery int
+	Epsilon         rl.EpsilonSchedule
+	// Seed drives network init and exploration.
+	Seed int64
+}
+
+// DefaultDQNAgentConfig mirrors the paper's architecture at simulation
+// scale: I=8 history slots, two hidden layers, C*PL outputs.
+func DefaultDQNAgentConfig(channels, powers, sweepWidth int) DQNAgentConfig {
+	return DQNAgentConfig{
+		Channels:        channels,
+		Powers:          powers,
+		SweepWidth:      sweepWidth,
+		HistoryLen:      8,
+		Hidden:          []int{48, 48},
+		Gamma:           0.9,
+		LearningRate:    1e-3,
+		BatchSize:       16,
+		BufferCapacity:  10000,
+		WarmupSize:      256,
+		TargetSyncEvery: 200,
+		Epsilon:         rl.EpsilonSchedule{Start: 1, End: 0.05, DecaySteps: 12000},
+		Seed:            1,
+	}
+}
+
+// DQNAgent is the paper's deep-RL anti-jamming scheme. Train it online in a
+// simulation environment, then run it greedily (it implements env.Agent for
+// evaluation).
+type DQNAgent struct {
+	cfg DQNAgentConfig
+	dqn *rl.DQN
+
+	history []float64 // rolling 3*HistoryLen feature window
+}
+
+var _ env.Agent = (*DQNAgent)(nil)
+
+// NewDQNAgent builds the agent.
+func NewDQNAgent(cfg DQNAgentConfig) (*DQNAgent, error) {
+	if err := checkTopology(cfg.Channels, cfg.SweepWidth); err != nil {
+		return nil, err
+	}
+	if cfg.Powers <= 0 {
+		return nil, fmt.Errorf("core: powers %d must be positive", cfg.Powers)
+	}
+	if cfg.HistoryLen <= 0 {
+		return nil, fmt.Errorf("core: history length %d must be positive", cfg.HistoryLen)
+	}
+	dcfg := rl.DQNConfig{
+		StateDim:        3 * cfg.HistoryLen,
+		NumActions:      cfg.Channels * cfg.Powers,
+		Hidden:          cfg.Hidden,
+		Gamma:           cfg.Gamma,
+		LearningRate:    cfg.LearningRate,
+		BatchSize:       cfg.BatchSize,
+		BufferCapacity:  cfg.BufferCapacity,
+		WarmupSize:      cfg.WarmupSize,
+		TargetSyncEvery: cfg.TargetSyncEvery,
+		Epsilon:         cfg.Epsilon,
+		Seed:            cfg.Seed,
+	}
+	dqn, err := rl.NewDQN(dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: build dqn: %w", err)
+	}
+	a := &DQNAgent{cfg: cfg, dqn: dqn}
+	a.clearHistory()
+	return a, nil
+}
+
+// Name implements env.Agent.
+func (a *DQNAgent) Name() string { return "RL FH" }
+
+// Network exposes the trained Q network for persistence.
+func (a *DQNAgent) Network() *nn.Network { return a.dqn.Network() }
+
+// SaveModel writes the trained network to w.
+func (a *DQNAgent) SaveModel(w io.Writer) error { return a.dqn.Network().Save(w) }
+
+// LoadModel replaces the network with one read from r. The architecture
+// must match the agent's configuration.
+func (a *DQNAgent) LoadModel(r io.Reader) error {
+	net, err := nn.Load(r)
+	if err != nil {
+		return err
+	}
+	return a.dqn.SetNetwork(net)
+}
+
+func (a *DQNAgent) clearHistory() {
+	a.history = make([]float64, 3*a.cfg.HistoryLen)
+}
+
+// pushHistory appends one slot record (outcome, channel, power) to the
+// rolling window.
+func (a *DQNAgent) pushHistory(outcome env.Outcome, channel, power int) {
+	var oc float64
+	switch outcome {
+	case env.OutcomeSuccess:
+		oc = 1
+	case env.OutcomeJammedSurvived:
+		oc = 0.5
+	case env.OutcomeJammed:
+		oc = -1
+	}
+	entry := []float64{
+		oc,
+		float64(channel) / float64(a.cfg.Channels-1),
+		float64(power) / float64(max(a.cfg.Powers-1, 1)),
+	}
+	a.history = append(a.history[3:], entry...)
+}
+
+// state snapshots the current feature window.
+func (a *DQNAgent) state() []float64 {
+	out := make([]float64, len(a.history))
+	copy(out, a.history)
+	return out
+}
+
+func (a *DQNAgent) decodeAction(action int) (channel, power int) {
+	return action / a.cfg.Powers, action % a.cfg.Powers
+}
+
+// Train runs the agent with epsilon-greedy exploration in the environment
+// for the given number of slots, learning online from every transition (the
+// paper trains from ~120k historical data blocks). It returns the average
+// reward per slot.
+func (a *DQNAgent) Train(e *env.Environment, slots int) (float64, error) {
+	if slots <= 0 {
+		return 0, fmt.Errorf("core: training slots %d must be positive", slots)
+	}
+	if e.NumChannels() != a.cfg.Channels || e.NumPowers() != a.cfg.Powers {
+		return 0, fmt.Errorf("core: environment (%d ch, %d pw) does not match agent (%d ch, %d pw)",
+			e.NumChannels(), e.NumPowers(), a.cfg.Channels, a.cfg.Powers)
+	}
+	a.clearHistory()
+	var total float64
+	for slot := 0; slot < slots; slot++ {
+		s := a.state()
+		action, err := a.dqn.SelectAction(s)
+		if err != nil {
+			return 0, err
+		}
+		ch, pw := a.decodeAction(action)
+		res, err := e.Step(ch, pw)
+		if err != nil {
+			return 0, err
+		}
+		total += res.Reward
+		a.pushHistory(res.Outcome, ch, pw)
+		if _, err := a.dqn.Observe(rl.Transition{
+			State:  s,
+			Action: action,
+			Reward: res.Reward * rewardScale,
+			Next:   a.state(),
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return total / float64(slots), nil
+}
+
+// Reset implements env.Agent (evaluation mode: greedy, no learning).
+func (a *DQNAgent) Reset(rng *rand.Rand) { a.clearHistory() }
+
+// Decide implements env.Agent: it folds the previous slot into the history
+// window and plays the greedy action.
+func (a *DQNAgent) Decide(prev env.SlotInfo) env.Decision {
+	if !prev.First {
+		a.pushHistory(prev.Outcome, prev.Channel, prev.Power)
+	}
+	action, err := a.dqn.GreedyAction(a.state())
+	if err != nil {
+		return env.Decision{Channel: prev.Channel, Power: 0}
+	}
+	ch, pw := a.decodeAction(action)
+	return env.Decision{Channel: ch, Power: pw}
+}

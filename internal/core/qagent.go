@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ctjam/internal/env"
+	"ctjam/internal/rl"
+)
+
+// QAgent is the tabular Q-learning comparison baseline the paper's §III-C
+// argues against: it learns over the same belief-state space the exact MDP
+// uses (n = 1..S-1, T_J, J) with the stay/hop x power action space. Unlike
+// the DQN it cannot consume the raw observation history, so it depends on
+// the belief-state abstraction being correct.
+type QAgent struct {
+	model      *Model
+	table      *rl.QTable
+	channels   int
+	sweepWidth int
+
+	rng *rand.Rand
+	n   int
+	tj  bool
+	j   bool
+}
+
+var _ env.Agent = (*QAgent)(nil)
+
+// NewQAgent builds the tabular learner for the given anti-jamming model.
+func NewQAgent(m *Model, channels, sweepWidth int, seed int64) (*QAgent, error) {
+	if err := checkTopology(channels, sweepWidth); err != nil {
+		return nil, err
+	}
+	table, err := rl.NewQTable(
+		m.NumStates(), m.NumActions(),
+		0.1, 0.9,
+		rl.EpsilonSchedule{Start: 1, End: 0.05, DecaySteps: 8000},
+		seed,
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &QAgent{model: m, table: table, channels: channels, sweepWidth: sweepWidth}, nil
+}
+
+// Name implements env.Agent.
+func (a *QAgent) Name() string { return "Q-learning" }
+
+// beliefState maps the tracked belief to a table state index.
+func (a *QAgent) beliefState() int {
+	switch {
+	case a.j:
+		return a.model.StateJ()
+	case a.tj:
+		return a.model.StateTJ()
+	default:
+		s, err := a.model.StateOfN(a.n)
+		if err != nil {
+			return 0
+		}
+		return s
+	}
+}
+
+// observe folds a slot outcome into the belief.
+func (a *QAgent) observe(outcome env.Outcome, hopped bool) {
+	switch outcome {
+	case env.OutcomeSuccess:
+		if hopped || a.tj || a.j {
+			a.n = 1
+		} else if a.n < a.model.p.SweepCycle-1 {
+			a.n++
+		}
+		a.tj, a.j = false, false
+	case env.OutcomeJammedSurvived:
+		a.tj, a.j = true, false
+	case env.OutcomeJammed:
+		a.tj, a.j = false, true
+	}
+}
+
+// Train runs epsilon-greedy Q-learning online for the given number of
+// slots, returning the average reward.
+func (a *QAgent) Train(e *env.Environment, slots int) (float64, error) {
+	if slots <= 0 {
+		return 0, fmt.Errorf("core: training slots %d must be positive", slots)
+	}
+	a.resetBelief()
+	rng := rand.New(rand.NewSource(42))
+	channel := e.CurrentChannel()
+	var total float64
+	for slot := 0; slot < slots; slot++ {
+		state := a.beliefState()
+		action, err := a.table.SelectAction(state)
+		if err != nil {
+			return 0, err
+		}
+		hop, power, err := a.model.DecodeAction(action)
+		if err != nil {
+			return 0, err
+		}
+		if hop {
+			channel = hopTarget(rng, channel, a.channels, a.sweepWidth)
+		}
+		res, err := e.Step(channel, power)
+		if err != nil {
+			return 0, err
+		}
+		total += res.Reward
+		a.observe(res.Outcome, res.Hopped)
+		if err := a.table.Update(state, action, res.Reward/100, a.beliefState(), false); err != nil {
+			return 0, err
+		}
+	}
+	return total / float64(slots), nil
+}
+
+func (a *QAgent) resetBelief() {
+	a.n = 1
+	a.tj = false
+	a.j = false
+}
+
+// Reset implements env.Agent (evaluation mode).
+func (a *QAgent) Reset(rng *rand.Rand) {
+	a.rng = rng
+	a.resetBelief()
+}
+
+// Decide implements env.Agent: greedy play of the learned table.
+func (a *QAgent) Decide(prev env.SlotInfo) env.Decision {
+	if !prev.First {
+		a.observe(prev.Outcome, prev.Hopped)
+	}
+	action, err := a.table.GreedyAction(a.beliefState())
+	if err != nil {
+		return env.Decision{Channel: prev.Channel, Power: 0}
+	}
+	hop, power, err := a.model.DecodeAction(action)
+	if err != nil {
+		return env.Decision{Channel: prev.Channel, Power: 0}
+	}
+	ch := prev.Channel
+	if hop && !prev.First {
+		ch = hopTarget(a.rng, prev.Channel, a.channels, a.sweepWidth)
+	}
+	return env.Decision{Channel: ch, Power: power}
+}

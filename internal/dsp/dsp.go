@@ -1,0 +1,229 @@
+// Package dsp provides the digital-signal-processing primitives used by the
+// physical-layer simulators: complex-vector arithmetic, radix-2 FFT/IFFT, a
+// naive DFT used as a test oracle, and energy/error measures.
+//
+// All routines operate on []complex128 sample vectors at complex baseband.
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrNotPowerOfTwo is returned by FFT and IFFT when the input length is not a
+// power of two.
+var ErrNotPowerOfTwo = errors.New("dsp: length is not a power of two")
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// FFT computes the in-order radix-2 decimation-in-time fast Fourier transform
+// of x. The input is not modified; a new slice is returned. The length of x
+// must be a power of two.
+func FFT(x []complex128) ([]complex128, error) {
+	if !IsPowerOfTwo(len(x)) {
+		return nil, fmt.Errorf("fft of %d samples: %w", len(x), ErrNotPowerOfTwo)
+	}
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, false)
+	return out, nil
+}
+
+// IFFT computes the inverse FFT of x, including the 1/N normalization. The
+// input is not modified. The length of x must be a power of two.
+func IFFT(x []complex128) ([]complex128, error) {
+	if !IsPowerOfTwo(len(x)) {
+		return nil, fmt.Errorf("ifft of %d samples: %w", len(x), ErrNotPowerOfTwo)
+	}
+	out := make([]complex128, len(x))
+	copy(out, x)
+	fftInPlace(out, true)
+	n := complex(float64(len(x)), 0)
+	for i := range out {
+		out[i] /= n
+	}
+	return out, nil
+}
+
+// fftInPlace runs an iterative radix-2 Cooley-Tukey transform. inverse
+// selects the conjugate twiddle factors (without normalization).
+func fftInPlace(a []complex128, inverse bool) {
+	n := len(a)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// DFT computes the discrete Fourier transform by direct evaluation in
+// O(n^2). It accepts any length and is intended as a slow reference
+// implementation for testing FFT.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Rect(1, angle)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Energy returns the total energy of x: sum of |x[i]|^2.
+func Energy(x []complex128) float64 {
+	var e float64
+	for _, v := range x {
+		e += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return e
+}
+
+// Power returns the mean sample power of x, or 0 for an empty vector.
+func Power(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Energy(x) / float64(len(x))
+}
+
+// Scale returns a copy of x with every sample multiplied by g.
+func Scale(x []complex128, g complex128) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = v * g
+	}
+	return out
+}
+
+// Add returns the element-wise sum of a and b, which must have equal length.
+func Add(a, b []complex128) ([]complex128, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("dsp: add length mismatch %d vs %d", len(a), len(b))
+	}
+	out := make([]complex128, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out, nil
+}
+
+// AddInto adds src into dst starting at offset, clipping to dst's bounds.
+// Samples of src that fall outside dst are discarded. It returns the number
+// of samples added.
+func AddInto(dst, src []complex128, offset int) int {
+	n := 0
+	for i, v := range src {
+		j := offset + i
+		if j < 0 || j >= len(dst) {
+			continue
+		}
+		dst[j] += v
+		n++
+	}
+	return n
+}
+
+// EVM returns the root-mean-square error-vector magnitude between a measured
+// vector and a reference vector, normalized by the reference RMS amplitude.
+// It returns an error if lengths differ or the reference is all-zero.
+func EVM(measured, reference []complex128) (float64, error) {
+	if len(measured) != len(reference) {
+		return 0, fmt.Errorf("dsp: evm length mismatch %d vs %d", len(measured), len(reference))
+	}
+	refE := Energy(reference)
+	if refE == 0 {
+		return 0, errors.New("dsp: evm reference has zero energy")
+	}
+	var errE float64
+	for i := range measured {
+		d := measured[i] - reference[i]
+		errE += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return math.Sqrt(errE / refE), nil
+}
+
+// MaxAbs returns the largest sample magnitude in x, or 0 for an empty vector.
+func MaxAbs(x []complex128) float64 {
+	var m float64
+	for _, v := range x {
+		if a := cmplx.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Correlate computes the complex correlation between x and the reference ref
+// at lag 0: sum(x[i] * conj(ref[i])) over the overlap of the two vectors.
+func Correlate(x, ref []complex128) complex128 {
+	n := min(len(x), len(ref))
+	var sum complex128
+	for i := 0; i < n; i++ {
+		sum += x[i] * cmplx.Conj(ref[i])
+	}
+	return sum
+}
+
+// Upsample repeats each sample of x factor times. factor must be >= 1.
+func Upsample(x []complex128, factor int) ([]complex128, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: upsample factor %d < 1", factor)
+	}
+	out := make([]complex128, 0, len(x)*factor)
+	for _, v := range x {
+		for k := 0; k < factor; k++ {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// NextPowerOfTwo returns the smallest power of two >= n (and >= 1).
+func NextPowerOfTwo(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// ZeroPad returns x extended with zeros to length n. If len(x) >= n the
+// original slice content is copied and truncated to n.
+func ZeroPad(x []complex128, n int) []complex128 {
+	out := make([]complex128, n)
+	copy(out, x)
+	return out
+}

@@ -1,0 +1,367 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const floatTol = 1e-9
+
+func approxEqualCx(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func randVector(r *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return x
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	tests := []struct {
+		give int
+		want bool
+	}{
+		{0, false},
+		{-4, false},
+		{1, true},
+		{2, true},
+		{3, false},
+		{64, true},
+		{96, false},
+		{1024, true},
+	}
+	for _, tt := range tests {
+		if got := IsPowerOfTwo(tt.give); got != tt.want {
+			t.Errorf("IsPowerOfTwo(%d) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := FFT(make([]complex128, 24)); err == nil {
+		t.Fatal("FFT(24) expected error, got nil")
+	}
+	if _, err := IFFT(make([]complex128, 7)); err == nil {
+		t.Fatal("IFFT(7) expected error, got nil")
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	got, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if !approxEqualCx(v, 1, floatTol) {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A complex exponential at bin k concentrates all energy in bin k.
+	const n, k = 64, 5
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Rect(1, 2*math.Pi*float64(k)*float64(i)/float64(n))
+	}
+	got, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		want := complex(0, 0)
+		if i == k {
+			want = complex(n, 0)
+		}
+		if !approxEqualCx(v, want, 1e-8) {
+			t.Fatalf("bin %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := randVector(r, n)
+		fast, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := DFT(x)
+		for i := range fast {
+			if !approxEqualCx(fast[i], slow[i], 1e-7*float64(n)) {
+				t.Fatalf("n=%d bin %d: fft=%v dft=%v", n, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+func TestFFTDoesNotMutateInput(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x := randVector(r, 32)
+	orig := make([]complex128, len(x))
+	copy(orig, x)
+	if _, err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatalf("FFT mutated input at %d", i)
+		}
+	}
+}
+
+func TestIFFTRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func(seed int64, sizeSel uint8) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + sizeSel%9) // 2..512
+		x := randVector(rr, n)
+		fx, err := FFT(x)
+		if err != nil {
+			return false
+		}
+		back, err := IFFT(fx)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !approxEqualCx(back[i], x[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Energy in time domain equals energy in frequency domain / N.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		x := randVector(rr, 128)
+		fx, err := FFT(x)
+		if err != nil {
+			return false
+		}
+		return math.Abs(Energy(x)-Energy(fx)/128) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	f := func(seed int64, ar, ai float64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a := complex(math.Mod(ar, 10), math.Mod(ai, 10))
+		x := randVector(rr, 64)
+		y := randVector(rr, 64)
+		// FFT(a*x + y) == a*FFT(x) + FFT(y)
+		sum := make([]complex128, 64)
+		for i := range sum {
+			sum[i] = a*x[i] + y[i]
+		}
+		fs, err := FFT(sum)
+		if err != nil {
+			return false
+		}
+		fx, _ := FFT(x)
+		fy, _ := FFT(y)
+		for i := range fs {
+			if !approxEqualCx(fs[i], a*fx[i]+fy[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyAndPower(t *testing.T) {
+	x := []complex128{3, complex(0, 4)}
+	if got := Energy(x); math.Abs(got-25) > floatTol {
+		t.Errorf("Energy = %v, want 25", got)
+	}
+	if got := Power(x); math.Abs(got-12.5) > floatTol {
+		t.Errorf("Power = %v, want 12.5", got)
+	}
+	if got := Power(nil); got != 0 {
+		t.Errorf("Power(nil) = %v, want 0", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	x := []complex128{1, complex(0, 1)}
+	got := Scale(x, complex(0, 2))
+	want := []complex128{complex(0, 2), complex(-2, 0)}
+	for i := range got {
+		if !approxEqualCx(got[i], want[i], floatTol) {
+			t.Fatalf("Scale[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Original untouched.
+	if x[0] != 1 {
+		t.Fatal("Scale mutated input")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := []complex128{1, 2}
+	b := []complex128{complex(0, 1), 3}
+	got, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{complex(1, 1), 5}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Add[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := Add(a, []complex128{1}); err == nil {
+		t.Fatal("Add length mismatch: expected error")
+	}
+}
+
+func TestAddInto(t *testing.T) {
+	dst := make([]complex128, 4)
+	src := []complex128{1, 1, 1}
+	if n := AddInto(dst, src, 2); n != 2 {
+		t.Fatalf("AddInto clipped count = %d, want 2", n)
+	}
+	if dst[2] != 1 || dst[3] != 1 || dst[0] != 0 {
+		t.Fatalf("AddInto result %v", dst)
+	}
+	if n := AddInto(dst, src, -1); n != 2 {
+		t.Fatalf("AddInto negative offset count = %d, want 2", n)
+	}
+}
+
+func TestEVM(t *testing.T) {
+	ref := []complex128{1, 1, 1, 1}
+	if got, err := EVM(ref, ref); err != nil || got != 0 {
+		t.Fatalf("EVM(self) = %v, %v", got, err)
+	}
+	meas := []complex128{1.1, 1, 1, 1}
+	got, err := EVM(meas, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(0.01 / 4)
+	if math.Abs(got-want) > floatTol {
+		t.Fatalf("EVM = %v, want %v", got, want)
+	}
+	if _, err := EVM(meas[:2], ref); err == nil {
+		t.Fatal("EVM length mismatch: expected error")
+	}
+	if _, err := EVM(ref, make([]complex128, 4)); err == nil {
+		t.Fatal("EVM zero reference: expected error")
+	}
+}
+
+func TestCorrelate(t *testing.T) {
+	x := []complex128{1, complex(0, 1)}
+	// Correlation with itself equals its energy.
+	got := Correlate(x, x)
+	if !approxEqualCx(got, complex(Energy(x), 0), floatTol) {
+		t.Fatalf("Correlate self = %v, want %v", got, Energy(x))
+	}
+	// Orthogonal vectors correlate to zero.
+	y := []complex128{1, complex(0, -1)}
+	z := []complex128{1, complex(0, 1)}
+	if got := Correlate(y, z); !approxEqualCx(got, 0, floatTol) {
+		t.Fatalf("orthogonal correlation = %v, want 0", got)
+	}
+}
+
+func TestUpsample(t *testing.T) {
+	x := []complex128{1, 2}
+	got, err := Upsample(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{1, 1, 1, 2, 2, 2}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Upsample[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := Upsample(x, 0); err == nil {
+		t.Fatal("Upsample(0): expected error")
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	tests := []struct{ give, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {64, 64}, {65, 128}, {100, 128},
+	}
+	for _, tt := range tests {
+		if got := NextPowerOfTwo(tt.give); got != tt.want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestZeroPad(t *testing.T) {
+	x := []complex128{1, 2, 3}
+	got := ZeroPad(x, 5)
+	if len(got) != 5 || got[2] != 3 || got[4] != 0 {
+		t.Fatalf("ZeroPad = %v", got)
+	}
+	if got := ZeroPad(x, 2); len(got) != 2 || got[1] != 2 {
+		t.Fatalf("ZeroPad truncate = %v", got)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := MaxAbs(nil); got != 0 {
+		t.Fatalf("MaxAbs(nil) = %v", got)
+	}
+	x := []complex128{complex(3, 4), 1}
+	if got := MaxAbs(x); math.Abs(got-5) > floatTol {
+		t.Fatalf("MaxAbs = %v, want 5", got)
+	}
+}
+
+func BenchmarkFFT64(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	x := randVector(r, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FFT(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	x := randVector(r, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FFT(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

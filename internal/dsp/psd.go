@@ -1,0 +1,92 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// HannWindow returns an n-point Hann window.
+func HannWindow(n int) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	for i := range out {
+		out[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return out
+}
+
+// PSD estimates the power spectral density of a waveform by Welch
+// averaging: the signal is split into 50%-overlapping Hann-windowed
+// segments of nfft samples, and the squared FFT magnitudes are averaged.
+// The result has nfft bins in standard FFT order (bin 0 = DC, bin
+// nfft/2.. = negative frequencies) and is normalized so its sum equals the
+// mean sample power.
+func PSD(wave []complex128, nfft int) ([]float64, error) {
+	if !IsPowerOfTwo(nfft) {
+		return nil, fmt.Errorf("dsp: psd nfft %d: %w", nfft, ErrNotPowerOfTwo)
+	}
+	if len(wave) < nfft {
+		return nil, fmt.Errorf("dsp: psd needs at least %d samples, got %d", nfft, len(wave))
+	}
+	window := HannWindow(nfft)
+	var windowPower float64
+	for _, w := range window {
+		windowPower += w * w
+	}
+
+	psd := make([]float64, nfft)
+	segments := 0
+	buf := make([]complex128, nfft)
+	for start := 0; start+nfft <= len(wave); start += nfft / 2 {
+		for i := 0; i < nfft; i++ {
+			buf[i] = wave[start+i] * complex(window[i], 0)
+		}
+		spec, err := FFT(buf)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range spec {
+			psd[k] += real(v)*real(v) + imag(v)*imag(v)
+		}
+		segments++
+	}
+	// Normalize: average over segments and compensate the window so the
+	// PSD sums to the mean sample power.
+	norm := 1.0 / (float64(segments) * windowPower * float64(nfft))
+	var total float64
+	for k := range psd {
+		psd[k] *= norm * float64(nfft)
+		total += psd[k]
+	}
+	_ = total
+	return psd, nil
+}
+
+// BandFraction returns the fraction of total PSD power inside the band of
+// logical bins [lo, hi] (negative indices wrap: bin -1 is psd[len-1]).
+func BandFraction(psd []float64, lo, hi int) (float64, error) {
+	if len(psd) == 0 {
+		return 0, fmt.Errorf("dsp: empty psd")
+	}
+	if hi < lo {
+		return 0, fmt.Errorf("dsp: band [%d,%d] inverted", lo, hi)
+	}
+	if hi-lo+1 > len(psd) {
+		return 0, fmt.Errorf("dsp: band wider than spectrum")
+	}
+	var total, band float64
+	for _, p := range psd {
+		total += p
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	n := len(psd)
+	for k := lo; k <= hi; k++ {
+		band += psd[((k%n)+n)%n]
+	}
+	return band / total, nil
+}

@@ -1,0 +1,100 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestHannWindow(t *testing.T) {
+	w := HannWindow(64)
+	if w[0] > 1e-12 || w[63] > 1e-12 {
+		t.Fatalf("Hann endpoints %v, %v should be ~0", w[0], w[63])
+	}
+	// Peak near the middle.
+	if w[31] < 0.99 && w[32] < 0.99 {
+		t.Fatalf("Hann peak %v/%v too low", w[31], w[32])
+	}
+	if got := HannWindow(1); got[0] != 1 {
+		t.Fatalf("HannWindow(1) = %v", got)
+	}
+}
+
+func TestPSDValidation(t *testing.T) {
+	if _, err := PSD(make([]complex128, 100), 60); err == nil {
+		t.Fatal("non power-of-two nfft: expected error")
+	}
+	if _, err := PSD(make([]complex128, 10), 64); err == nil {
+		t.Fatal("short wave: expected error")
+	}
+}
+
+func TestPSDConcentratesTone(t *testing.T) {
+	// A complex tone at bin 5 must put nearly all PSD power there.
+	const nfft = 64
+	wave := make([]complex128, 1024)
+	for i := range wave {
+		wave[i] = cmplx.Rect(1, 2*math.Pi*5*float64(i)/nfft)
+	}
+	psd, err := PSD(wave, nfft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, err := BandFraction(psd, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.95 {
+		t.Fatalf("tone band fraction %.3f, want >0.95", frac)
+	}
+}
+
+func TestPSDWhiteNoiseIsFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	wave := make([]complex128, 1<<14)
+	for i := range wave {
+		wave[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	psd, err := PSD(wave, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any half of the spectrum should hold roughly half the power.
+	frac, err := BandFraction(psd, 0, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("white-noise half-band fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestBandFractionValidation(t *testing.T) {
+	if _, err := BandFraction(nil, 0, 1); err == nil {
+		t.Fatal("empty psd: expected error")
+	}
+	psd := make([]float64, 8)
+	if _, err := BandFraction(psd, 3, 1); err == nil {
+		t.Fatal("inverted band: expected error")
+	}
+	if _, err := BandFraction(psd, 0, 9); err == nil {
+		t.Fatal("band too wide: expected error")
+	}
+	if frac, err := BandFraction(psd, 0, 3); err != nil || frac != 0 {
+		t.Fatalf("zero psd: frac=%v err=%v", frac, err)
+	}
+}
+
+func TestBandFractionNegativeBinsWrap(t *testing.T) {
+	psd := make([]float64, 8)
+	psd[7] = 1 // logical bin -1
+	psd[1] = 1
+	frac, err := BandFraction(psd, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(frac-1) > 1e-12 {
+		t.Fatalf("wrap fraction = %v, want 1", frac)
+	}
+}

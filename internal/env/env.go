@@ -1,0 +1,380 @@
+// Package env implements the time-slotted jamming environment the paper's
+// DQN is trained and evaluated in: a victim ZigBee link hopping among K
+// channels with M transmit power levels, attacked by a sweeping
+// cross-technology jammer that scans m consecutive channels per slot
+// (sweep cycle ceil(K/m)) and locks on once it finds the victim.
+//
+// Each slot the victim (hub) chooses a channel and power level; the
+// environment resolves the jammer's move and reports the outcome plus the
+// paper's Eq. (5) reward: -L_p - L_H*[hopped] - L_J*[jammed successfully].
+package env
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ctjam/internal/jammer"
+	"ctjam/internal/metrics"
+)
+
+// Outcome classifies a slot from the victim's perspective, mirroring the
+// paper's MDP states: success (states n), jammed-but-survived (TJ, the
+// jamming power lost the duel), and jammed (J).
+type Outcome int
+
+// Slot outcomes.
+const (
+	// OutcomeSuccess means the slot was not jammed.
+	OutcomeSuccess Outcome = iota + 1
+	// OutcomeJammedSurvived means the jammer hit the channel but the
+	// victim's power out-dueled it (transmission still succeeded).
+	OutcomeJammedSurvived
+	// OutcomeJammed means the transmission was lost to jamming.
+	OutcomeJammed
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeSuccess:
+		return "success"
+	case OutcomeJammedSurvived:
+		return "jammed-survived"
+	case OutcomeJammed:
+		return "jammed"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Succeeded reports whether data got through this slot.
+func (o Outcome) Succeeded() bool { return o == OutcomeSuccess || o == OutcomeJammedSurvived }
+
+// Config parameterizes the environment. DefaultConfig reproduces the
+// paper's simulation settings (§IV-A1).
+type Config struct {
+	// Channels is K, the number of ZigBee channels (16 on 2.4 GHz).
+	Channels int
+	// SweepWidth is m, the channels the jammer scans per slot (4).
+	SweepWidth int
+	// TxPowers are the victim's power levels; the values double as the
+	// per-slot power loss L_p (paper: [6,15]).
+	TxPowers []float64
+	// JamPowers are the jammer's levels (paper: [11,20]).
+	JamPowers []float64
+	// JammerMode selects max or random jamming power.
+	JammerMode jammer.PowerMode
+	// LossHop is L_H, the frequency-hopping loss (50).
+	LossHop float64
+	// LossJam is L_J, the successful-jamming loss (100).
+	LossJam float64
+	// Seed drives all environment randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's simulation parameters: K=16, m=4 (sweep
+// cycle 4), L^T in [6,15], L^J in [11,20], L_H=50, L_J=100, max-power
+// jammer.
+func DefaultConfig() Config {
+	tx := make([]float64, 10)
+	jam := make([]float64, 10)
+	for i := 0; i < 10; i++ {
+		tx[i] = float64(6 + i)
+		jam[i] = float64(11 + i)
+	}
+	return Config{
+		Channels:   16,
+		SweepWidth: 4,
+		TxPowers:   tx,
+		JamPowers:  jam,
+		JammerMode: jammer.ModeMax,
+		LossHop:    50,
+		LossJam:    100,
+		Seed:       1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Channels <= 1 {
+		return fmt.Errorf("env: need at least 2 channels, got %d", c.Channels)
+	}
+	if c.SweepWidth <= 0 || c.SweepWidth > c.Channels {
+		return fmt.Errorf("env: sweep width %d out of range [1,%d]", c.SweepWidth, c.Channels)
+	}
+	if len(c.TxPowers) == 0 || len(c.JamPowers) == 0 {
+		return fmt.Errorf("env: power level lists must be non-empty")
+	}
+	for i := 1; i < len(c.TxPowers); i++ {
+		if c.TxPowers[i] < c.TxPowers[i-1] {
+			return fmt.Errorf("env: tx powers must be non-decreasing")
+		}
+	}
+	if c.LossHop < 0 || c.LossJam < 0 {
+		return fmt.Errorf("env: losses must be non-negative")
+	}
+	if c.JammerMode != jammer.ModeMax && c.JammerMode != jammer.ModeRandom {
+		return fmt.Errorf("env: unknown jammer mode %v", c.JammerMode)
+	}
+	return nil
+}
+
+// SweepCycle returns ceil(K/m), the paper's sweep cycle length.
+func (c Config) SweepCycle() int {
+	return (c.Channels + c.SweepWidth - 1) / c.SweepWidth
+}
+
+// StepResult reports everything about one resolved slot.
+type StepResult struct {
+	// Outcome is the victim-visible result.
+	Outcome Outcome
+	// Reward is the Eq. (5) immediate reward.
+	Reward float64
+	// Hopped reports whether the victim changed channels this slot.
+	Hopped bool
+	// JamPower is the jammer's level this slot (0 when not co-channel).
+	JamPower float64
+	// UsefulHop marks a hop away from a block the jammer was actively
+	// locked on, that ended in a successful slot (Table I's SH
+	// numerator).
+	UsefulHop bool
+	// UsefulPC marks a slot where elevated power survived a jam that the
+	// minimum power would have lost (Table I's SP numerator).
+	UsefulPC bool
+}
+
+// Environment is the slot-level simulation. Not safe for concurrent use.
+type Environment struct {
+	cfg     Config
+	sweeper *jammer.Sweeper
+	rng     *rand.Rand
+	channel int
+	slot    int
+	started bool
+}
+
+// New builds an Environment.
+func New(cfg Config) (*Environment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Environment{cfg: cfg}
+	e.Reset()
+	return e, nil
+}
+
+// Config returns the environment configuration.
+func (e *Environment) Config() Config { return e.cfg }
+
+// NumChannels returns K.
+func (e *Environment) NumChannels() int { return e.cfg.Channels }
+
+// NumPowers returns the number of victim power levels.
+func (e *Environment) NumPowers() int { return len(e.cfg.TxPowers) }
+
+// CurrentChannel returns the victim's channel as of the last step (or the
+// random initial channel).
+func (e *Environment) CurrentChannel() int { return e.channel }
+
+// Slot returns the number of executed slots.
+func (e *Environment) Slot() int { return e.slot }
+
+// Reset reinitializes jammer and victim positions deterministically from
+// the seed.
+func (e *Environment) Reset() {
+	e.rng = rand.New(rand.NewSource(e.cfg.Seed))
+	sweeper, err := jammer.NewSweeper(e.cfg.Channels, e.cfg.SweepWidth, e.cfg.JamPowers, e.cfg.JammerMode, e.rng)
+	if err != nil {
+		// Config was validated in New; a failure here is a programming
+		// error.
+		panic(fmt.Sprintf("env: sweeper construction failed after validation: %v", err))
+	}
+	e.sweeper = sweeper
+	e.channel = e.rng.Intn(e.cfg.Channels)
+	e.slot = 0
+	e.started = false
+}
+
+// Step resolves one slot in which the victim transmits on channel with
+// power index power.
+func (e *Environment) Step(channel, power int) (StepResult, error) {
+	if channel < 0 || channel >= e.cfg.Channels {
+		return StepResult{}, fmt.Errorf("env: channel %d out of range [0,%d)", channel, e.cfg.Channels)
+	}
+	if power < 0 || power >= len(e.cfg.TxPowers) {
+		return StepResult{}, fmt.Errorf("env: power index %d out of range [0,%d)", power, len(e.cfg.TxPowers))
+	}
+
+	hopped := e.started && channel != e.channel
+	oldChannel := e.channel
+
+	// Capture whether the jammer was locked on the victim's previous
+	// block before it reacts, to attribute useful hops.
+	lockedOnOld := false
+	if block, ok := e.sweeper.LockedBlock(); ok {
+		if oldBlock, err := e.sweeper.BlockOf(oldChannel); err == nil && block == oldBlock {
+			lockedOnOld = true
+		}
+	}
+
+	jammed, jamPower, err := e.sweeper.Step(channel)
+	if err != nil {
+		return StepResult{}, fmt.Errorf("env: jammer step: %w", err)
+	}
+
+	outcome := OutcomeSuccess
+	if jammed {
+		if e.cfg.TxPowers[power] >= jamPower {
+			outcome = OutcomeJammedSurvived
+		} else {
+			outcome = OutcomeJammed
+		}
+	}
+
+	reward := -e.cfg.TxPowers[power]
+	if hopped {
+		reward -= e.cfg.LossHop
+	}
+	if outcome == OutcomeJammed {
+		reward -= e.cfg.LossJam
+	}
+
+	res := StepResult{
+		Outcome:   outcome,
+		Reward:    reward,
+		Hopped:    hopped,
+		UsefulHop: hopped && lockedOnOld && outcome.Succeeded(),
+		UsefulPC: power > 0 && jammed && outcome == OutcomeJammedSurvived &&
+			e.cfg.TxPowers[0] < jamPower,
+	}
+	if jammed {
+		res.JamPower = jamPower
+	}
+
+	e.channel = channel
+	e.slot++
+	e.started = true
+	return res, nil
+}
+
+// Decision is the hub's choice for the next slot.
+type Decision struct {
+	Channel int
+	Power   int
+}
+
+// SlotInfo summarizes the previous slot for an agent's next decision.
+type SlotInfo struct {
+	// Slot is the index of the next slot to decide.
+	Slot int
+	// Channel and Power are the previous slot's decision.
+	Channel int
+	Power   int
+	// Outcome is the previous slot's result (zero on the first call).
+	Outcome Outcome
+	// Hopped reports whether the previous slot hopped.
+	Hopped bool
+	// First is true for the first decision of a run.
+	First bool
+}
+
+// Agent is an anti-jamming policy driving the victim hub.
+type Agent interface {
+	// Name identifies the scheme ("RL FH", "Rand FH", "PSV FH", ...).
+	Name() string
+	// Reset prepares the agent for a fresh run.
+	Reset(rng *rand.Rand)
+	// Decide returns the channel and power for the next slot.
+	Decide(prev SlotInfo) Decision
+}
+
+// SlotRecord captures one executed slot for trace analysis (channel usage
+// plots, policy debugging, hop-pattern inspection).
+type SlotRecord struct {
+	Slot    int
+	Channel int
+	Power   int
+	Outcome Outcome
+	Hopped  bool
+	Reward  float64
+	// JamPower is the jammer's level when co-channel (0 otherwise).
+	JamPower float64
+}
+
+// Run drives the agent through the environment for the given number of
+// slots, returning Table I counters. The agent receives its own RNG derived
+// from the environment seed so runs are reproducible.
+func Run(e *Environment, a Agent, slots int) (metrics.Counters, error) {
+	c, _, err := run(e, a, slots, false)
+	return c, err
+}
+
+// RunTrace is Run plus a per-slot trace.
+func RunTrace(e *Environment, a Agent, slots int) (metrics.Counters, []SlotRecord, error) {
+	return run(e, a, slots, true)
+}
+
+func run(e *Environment, a Agent, slots int, trace bool) (metrics.Counters, []SlotRecord, error) {
+	if slots <= 0 {
+		return metrics.Counters{}, nil, fmt.Errorf("env: slots %d must be positive", slots)
+	}
+	agentRNG := rand.New(rand.NewSource(e.cfg.Seed + 0x5eed))
+	a.Reset(agentRNG)
+
+	var (
+		c       metrics.Counters
+		records []SlotRecord
+	)
+	if trace {
+		records = make([]SlotRecord, 0, slots)
+	}
+	prev := SlotInfo{First: true, Channel: e.CurrentChannel()}
+	for s := 0; s < slots; s++ {
+		d := a.Decide(prev)
+		res, err := e.Step(d.Channel, d.Power)
+		if err != nil {
+			return metrics.Counters{}, nil, fmt.Errorf("slot %d (agent %s): %w", s, a.Name(), err)
+		}
+		if trace {
+			records = append(records, SlotRecord{
+				Slot:     s,
+				Channel:  d.Channel,
+				Power:    d.Power,
+				Outcome:  res.Outcome,
+				Hopped:   res.Hopped,
+				Reward:   res.Reward,
+				JamPower: res.JamPower,
+			})
+		}
+		c.Slots++
+		if res.Outcome.Succeeded() {
+			c.Successes++
+		}
+		if res.Outcome != OutcomeSuccess {
+			c.JammedSlots++
+		}
+		if res.Outcome == OutcomeJammed {
+			c.JamLosses++
+		}
+		if res.Hopped {
+			c.Hops++
+		}
+		if res.UsefulHop {
+			c.UsefulHops++
+		}
+		if d.Power > 0 {
+			c.PCSlots++
+		}
+		if res.UsefulPC {
+			c.UsefulPCs++
+		}
+		prev = SlotInfo{
+			Slot:    s + 1,
+			Channel: d.Channel,
+			Power:   d.Power,
+			Outcome: res.Outcome,
+			Hopped:  res.Hopped,
+		}
+	}
+	return c, records, nil
+}

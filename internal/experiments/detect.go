@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"ctjam/internal/core"
+	"ctjam/internal/env"
+	"ctjam/internal/ids"
+	"ctjam/internal/phy/zigbee"
+)
+
+// runDetect extends the stealth experiment to the defender's conclusion:
+// for each jamming signal, the victim's slot losses (from the environment
+// trace) are combined with its receiver's PHY observations and fed to the
+// IDS detector. EmuBee should be classified as cross-technology jamming at
+// best — never as a conventional jammer — because it leaves no packet-log
+// evidence; the conventional ZigBee jammer is positively identified.
+func runDetect(o Options) (*Result, error) {
+	// Slot-level losses: a passive victim under the sweeping jammer.
+	ecfg := env.DefaultConfig()
+	ecfg.Seed = o.Seed
+	e, err := env.New(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	passive, err := core.NewPassiveFH(ecfg.Channels, ecfg.SweepWidth)
+	if err != nil {
+		return nil, err
+	}
+	slots := o.Slots
+	if slots > 4000 {
+		slots = 4000
+	}
+	_, records, err := env.RunTrace(e, passive, slots)
+	if err != nil {
+		return nil, err
+	}
+	lossEvidence := ids.FromTrace(records)
+
+	// PHY-level observations per jamming signal: symbol streams as the
+	// victim's demodulator would deliver them (runStealth validates that
+	// the waveform-level pipeline produces exactly these).
+	rng := rand.New(rand.NewSource(o.Seed))
+	emuStream := make([]uint8, 2000) // chip-matched preamble flood
+	var zbStream []uint8
+	for len(zbStream) < 2000 {
+		payload := make([]byte, 8)
+		if _, err := rng.Read(payload); err != nil {
+			return nil, err
+		}
+		frame, err := zigbee.EncodeFrame(payload)
+		if err != nil {
+			return nil, err
+		}
+		zbStream = append(zbStream, zigbee.BytesToSymbols(frame)...)
+	}
+	noise := make([]uint8, 2000)
+	for i := range noise {
+		noise[i] = uint8(rng.Intn(16))
+	}
+
+	detector, err := ids.NewDetector(ids.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Title:  "IDS verdicts per jamming signal",
+		XLabel: "signal",
+		YLabel: "verdict code / evidence counts",
+		XTicks: []string{"EmuBee", "ZigBee", "WiFi-noise"},
+		PaperNote: "§II-B consequence: the defender identifies a conventional jammer " +
+			"from its packet log but can at most infer CTJ from phantom busy time",
+	}
+	verdicts := Series{Name: "verdict (1=clean 2=intf 3=conv 4=ctj)"}
+	packetEvidence := Series{Name: "packet-log evidence"}
+	phantoms := Series{Name: "phantom syncs"}
+	for i, stream := range [][]uint8{emuStream, zbStream, noise} {
+		rep := zigbee.ProcessSymbolStream(stream)
+		ev := lossEvidence
+		ev.Merge(ids.FromReceiverReport(rep, 0, 0, 0, 0))
+		v := detector.Classify(ev)
+		verdicts.X = append(verdicts.X, float64(i))
+		verdicts.Y = append(verdicts.Y, float64(v))
+		packetEvidence.X = append(packetEvidence.X, float64(i))
+		packetEvidence.Y = append(packetEvidence.Y, float64(ev.CRCFailures+ev.AlienPackets))
+		phantoms.X = append(phantoms.X, float64(i))
+		phantoms.Y = append(phantoms.Y, float64(ev.PhantomSyncs))
+	}
+	res.Series = append(res.Series, verdicts, packetEvidence, phantoms)
+	return res, nil
+}

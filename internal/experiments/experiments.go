@@ -1,0 +1,317 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§II Fig. 2b, §IV Figs. 6-11, Table I, and the §IV-B training
+// statistics). Each experiment is a registered runner keyed by the figure
+// id; runners return structured results with the paper's reference values
+// attached so callers can print paper-vs-measured comparisons.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Engine selects which implementation of the paper's "RL FH" scheme drives
+// the anti-jamming sweeps.
+type Engine int
+
+// Engines.
+const (
+	// EngineMDP plays the exact optimal policy of the solved MDP — the
+	// fast default; the learned DQN approximates exactly this policy.
+	EngineMDP Engine = iota + 1
+	// EngineDQN trains a fresh DQN per sweep point, like the paper.
+	// Slower but fully faithful.
+	EngineDQN
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineMDP:
+		return "mdp"
+	case EngineDQN:
+		return "dqn"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Options tune experiment cost and engines.
+type Options struct {
+	// Slots is the slot-level evaluation length (paper: 20000).
+	Slots int
+	// Engine selects the RL FH implementation for sweeps.
+	Engine Engine
+	// TrainSlots is the per-point DQN training budget (EngineDQN only).
+	TrainSlots int
+	// FieldSlots is the field-simulator run length in Tx slots.
+	FieldSlots int
+	// Trials is the Monte-Carlo budget for PHY experiments.
+	Trials int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultOptions mirrors the paper's experiment scale.
+func DefaultOptions() Options {
+	return Options{
+		Slots:      20000,
+		Engine:     EngineMDP,
+		TrainSlots: 30000,
+		FieldSlots: 400,
+		Trials:     400,
+		Seed:       1,
+	}
+}
+
+// quick reduces budgets for benchmarks and smoke tests.
+func (o Options) withFloor() Options {
+	if o.Slots <= 0 {
+		o.Slots = 2000
+	}
+	if o.TrainSlots <= 0 {
+		o.TrainSlots = 8000
+	}
+	if o.FieldSlots <= 0 {
+		o.FieldSlots = 100
+	}
+	if o.Trials <= 0 {
+		o.Trials = 100
+	}
+	if o.Engine == 0 {
+		o.Engine = EngineMDP
+	}
+	return o
+}
+
+// QuickOptions returns a reduced-budget configuration for smoke tests and
+// benchmarks.
+func QuickOptions() Options {
+	return Options{
+		Slots:      3000,
+		Engine:     EngineMDP,
+		TrainSlots: 6000,
+		FieldSlots: 250,
+		Trials:     120,
+		Seed:       1,
+	}
+}
+
+// Series is one named curve of an experiment result.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Result is the structured output of one experiment.
+type Result struct {
+	// ID is the registry key ("fig6a").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel / YLabel annotate the axes.
+	XLabel string
+	YLabel string
+	// XTicks optionally labels categorical X positions (bar charts).
+	XTicks []string
+	// Series holds the measured curves.
+	Series []Series
+	// PaperNote records what the paper reports for this figure, for the
+	// paper-vs-measured comparison in EXPERIMENTS.md.
+	PaperNote string
+}
+
+// Runner produces a Result.
+type Runner func(Options) (*Result, error)
+
+// entry pairs a runner with its description.
+type entry struct {
+	id     string
+	desc   string
+	runner Runner
+}
+
+// registry holds all experiments in presentation order.
+var registry = buildRegistry()
+
+func buildRegistry() []entry {
+	var es []entry
+	add := func(id, desc string, r Runner) {
+		es = append(es, entry{id: id, desc: desc, runner: r})
+	}
+	add("fig2b", "PER & throughput vs jamming distance (analytic SINR model)", runFig2b)
+	add("fig2b-wave", "PER vs jamming distance (waveform-level Monte-Carlo)", runFig2bWave)
+	add("stealth", "stealthiness of jamming signals at the victim receiver (§II-B)", runStealth)
+	add("detect", "IDS verdicts per jamming signal (defender's view of §II-B)", runDetect)
+	add("fig6a", "success rate of transmission vs L_J", sweepRunner(sweepLJ, metricST))
+	add("fig6b", "success rate of transmission vs sweep cycle", sweepRunner(sweepCycle, metricST))
+	add("fig6c", "success rate of transmission vs L_H", sweepRunner(sweepLH, metricST))
+	add("fig6d", "success rate of transmission vs lower bound of L^T", sweepRunner(sweepLp, metricST))
+	add("fig7a", "adoption rate of FH vs L_J", sweepRunner(sweepLJ, metricAH))
+	add("fig7b", "adoption rate of PC vs L_J", sweepRunner(sweepLJ, metricAP))
+	add("fig7c", "adoption rate of FH vs sweep cycle", sweepRunner(sweepCycle, metricAH))
+	add("fig7d", "adoption rate of PC vs sweep cycle", sweepRunner(sweepCycle, metricAP))
+	add("fig7e", "adoption rate of FH vs L_H", sweepRunner(sweepLH, metricAH))
+	add("fig7f", "adoption rate of PC vs L_H", sweepRunner(sweepLH, metricAP))
+	add("fig7g", "adoption rate of FH vs lower bound of L^T", sweepRunner(sweepLp, metricAH))
+	add("fig7h", "adoption rate of PC vs lower bound of L^T", sweepRunner(sweepLp, metricAP))
+	add("fig8a", "success rate of FH vs L_J", sweepRunner(sweepLJ, metricSH))
+	add("fig8b", "success rate of PC vs L_J", sweepRunner(sweepLJ, metricSP))
+	add("fig8c", "success rate of FH vs sweep cycle", sweepRunner(sweepCycle, metricSH))
+	add("fig8d", "success rate of PC vs sweep cycle", sweepRunner(sweepCycle, metricSP))
+	add("fig8e", "success rate of FH vs L_H", sweepRunner(sweepLH, metricSH))
+	add("fig8f", "success rate of PC vs L_H", sweepRunner(sweepLH, metricSP))
+	add("fig8g", "success rate of FH vs lower bound of L^T", sweepRunner(sweepLp, metricSH))
+	add("fig8h", "success rate of PC vs lower bound of L^T", sweepRunner(sweepLp, metricSP))
+	add("fig9a", "time consumption of typical functions", runFig9a)
+	add("fig9b", "FH negotiation time vs network size", runFig9b)
+	add("fig10a", "goodput vs Tx timeslot duration", runFig10a)
+	add("fig10b", "timeslot utilization vs Tx timeslot duration", runFig10b)
+	add("fig11a", "goodput by anti-jamming scheme", runFig11a)
+	add("fig11b", "goodput vs jammer timeslot duration", runFig11b)
+	add("table1", "Table I metrics at the paper's default parameters", runTable1)
+	add("train", "DQN training statistics (§IV-B)", runTrain)
+	return es
+}
+
+// IDs returns all experiment ids in presentation order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Describe returns the one-line description of an experiment id.
+func Describe(id string) (string, error) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.desc, nil
+		}
+	}
+	return "", fmt.Errorf("experiments: unknown id %q", id)
+}
+
+// Run executes one experiment by id.
+func Run(id string, o Options) (*Result, error) {
+	o = o.withFloor()
+	for _, e := range registry {
+		if e.id == id {
+			res, err := e.runner(o)
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s: %w", id, err)
+			}
+			res.ID = id
+			return res, nil
+		}
+	}
+	known := strings.Join(IDs(), ", ")
+	return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, known)
+}
+
+// Format renders a result as an aligned text table.
+func Format(w io.Writer, r *Result) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	if r.PaperNote != "" {
+		if _, err := fmt.Fprintf(w, "paper: %s\n", r.PaperNote); err != nil {
+			return err
+		}
+	}
+	// Header.
+	cols := []string{r.XLabel}
+	for _, s := range r.Series {
+		cols = append(cols, s.Name)
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", strings.Join(cols, "\t")); err != nil {
+		return err
+	}
+	n := 0
+	for _, s := range r.Series {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(r.Series)+1)
+		switch {
+		case i < len(r.XTicks):
+			row = append(row, r.XTicks[i])
+		case len(r.Series) > 0 && i < len(r.Series[0].X):
+			row = append(row, trimFloat(r.Series[0].X[i]))
+		default:
+			row = append(row, fmt.Sprintf("%d", i))
+		}
+		for _, s := range r.Series {
+			if i < len(s.Y) {
+				row = append(row, trimFloat(s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders a result as CSV with one row per X position.
+func WriteCSV(w io.Writer, r *Result) error {
+	cols := []string{"x"}
+	for _, s := range r.Series {
+		cols = append(cols, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	n := 0
+	for _, s := range r.Series {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(cols))
+		switch {
+		case i < len(r.XTicks):
+			row = append(row, r.XTicks[i])
+		case len(r.Series) > 0 && i < len(r.Series[0].X):
+			row = append(row, trimFloat(r.Series[0].X[i]))
+		default:
+			row = append(row, fmt.Sprintf("%d", i))
+		}
+		for _, s := range r.Series {
+			if i < len(s.Y) {
+				row = append(row, trimFloat(s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// sortedKeys returns map keys in sorted order (stable output).
+func sortedKeys(m map[string][]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,396 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickRun(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := Run(id, QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != id {
+		t.Fatalf("result ID = %q, want %q", res.ID, id)
+	}
+	if len(res.Series) == 0 {
+		t.Fatalf("%s: no series", id)
+	}
+	return res
+}
+
+func seriesByName(t *testing.T, res *Result, name string) Series {
+	t.Helper()
+	for _, s := range res.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("%s: series %q not found (have %v)", res.ID, name, func() []string {
+		var out []string
+		for _, s := range res.Series {
+			out = append(out, s.Name)
+		}
+		return out
+	}())
+	return Series{}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	// Every paper figure panel must be present.
+	want := []string{
+		"fig2b", "fig2b-wave",
+		"fig6a", "fig6b", "fig6c", "fig6d",
+		"fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig7f", "fig7g", "fig7h",
+		"fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h",
+		"fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b",
+		"table1", "train",
+	}
+	have := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("registry missing %s", id)
+		}
+	}
+	if _, err := Describe("fig6a"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Describe("nope"); err == nil {
+		t.Error("Describe(nope): expected error")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("figZZ", QuickOptions()); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestFig2bOrderingAndTrend(t *testing.T) {
+	res := quickRun(t, "fig2b")
+	emu := seriesByName(t, res, "PER-EmuBee")
+	zb := seriesByName(t, res, "PER-ZigBee")
+	wf := seriesByName(t, res, "PER-WiFi")
+	// Averaged over distances, EmuBee jams hardest, WiFi least.
+	avg := func(s Series) float64 {
+		var sum float64
+		for _, y := range s.Y {
+			sum += y
+		}
+		return sum / float64(len(s.Y))
+	}
+	if !(avg(emu) >= avg(zb) && avg(zb) >= avg(wf)) {
+		t.Fatalf("PER ordering wrong: emu=%.1f zb=%.1f wifi=%.1f", avg(emu), avg(zb), avg(wf))
+	}
+	// PER decreases with distance for EmuBee (strongest signal).
+	if emu.Y[0] < emu.Y[len(emu.Y)-1] {
+		t.Fatalf("EmuBee PER should fall with distance: %v", emu.Y)
+	}
+	// Throughput mirrors PER.
+	thr := seriesByName(t, res, "kbps-EmuBee")
+	if thr.Y[0] > thr.Y[len(thr.Y)-1] {
+		t.Fatalf("EmuBee throughput should rise with distance: %v", thr.Y)
+	}
+}
+
+func TestFig6aTrend(t *testing.T) {
+	res := quickRun(t, "fig6a")
+	for _, s := range res.Series {
+		first, last := s.Y[0], s.Y[len(s.Y)-1]
+		// Fig. 6(a): ST ~0 at tiny L_J, around 78% at L_J=100.
+		if first > 20 {
+			t.Fatalf("%s: ST at L_J=10 is %.1f%%, expected near 0", s.Name, first)
+		}
+		if last < 60 {
+			t.Fatalf("%s: ST at L_J=100 is %.1f%%, expected ~78%%", s.Name, last)
+		}
+	}
+}
+
+func TestFig6bTrend(t *testing.T) {
+	res := quickRun(t, "fig6b")
+	for _, s := range res.Series {
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Fatalf("%s: ST should grow with sweep cycle: %v", s.Name, s.Y)
+		}
+		if s.Y[len(s.Y)-1] < 80 {
+			t.Fatalf("%s: ST at cycle 16 is %.1f%%, expected >80%%", s.Name, s.Y[len(s.Y)-1])
+		}
+	}
+}
+
+func TestFig6dTrend(t *testing.T) {
+	res := quickRun(t, "fig6d")
+	for _, s := range res.Series {
+		last := s.Y[len(s.Y)-1]
+		// lb=14 -> powers 14..23 >= jammer max 20 often; random mode
+		// reaches ~100%, max mode high.
+		if last < 85 {
+			t.Fatalf("%s: ST at lb=14 is %.1f%%, expected >85%%", s.Name, last)
+		}
+	}
+}
+
+func TestFig7bModeSplit(t *testing.T) {
+	// Fig. 7(b): power control is adopted far more in random mode.
+	res := quickRun(t, "fig7b")
+	maxMode := seriesByName(t, res, "jam w/ max pwr")
+	randMode := seriesByName(t, res, "jam w/ rand pwr")
+	var sumMax, sumRand float64
+	for i := range maxMode.Y {
+		sumMax += maxMode.Y[i]
+		sumRand += randMode.Y[i]
+	}
+	if sumRand <= sumMax {
+		t.Fatalf("AP in random mode (%.1f) should exceed max mode (%.1f)", sumRand, sumMax)
+	}
+}
+
+func TestFig9aMeans(t *testing.T) {
+	res := quickRun(t, "fig9a")
+	mean := seriesByName(t, res, "mean")
+	wants := []float64{9, 0.9, 0.6, 13.1} // ms, per XTicks order
+	for i, w := range wants {
+		if diff := mean.Y[i] - w; diff > w*0.15 || diff < -w*0.15 {
+			t.Fatalf("%s mean %.2f ms deviates from %.2f ms", res.XTicks[i], mean.Y[i], w)
+		}
+	}
+}
+
+func TestFig9bGrowth(t *testing.T) {
+	res := quickRun(t, "fig9b")
+	mean := seriesByName(t, res, "mean")
+	if mean.Y[len(mean.Y)-1] <= mean.Y[0] {
+		t.Fatalf("negotiation time should grow with nodes: %v", mean.Y)
+	}
+}
+
+func TestFig10Trends(t *testing.T) {
+	a := quickRun(t, "fig10a")
+	g := a.Series[0]
+	for i := 1; i < len(g.Y); i++ {
+		if g.Y[i] <= g.Y[i-1] {
+			t.Fatalf("goodput not increasing: %v", g.Y)
+		}
+	}
+	b := quickRun(t, "fig10b")
+	util := seriesByName(t, b, "utilization %")
+	if util.Y[0] < 88 || util.Y[0] > 96 {
+		t.Fatalf("1s utilization %.2f%% outside paper band", util.Y[0])
+	}
+	if util.Y[len(util.Y)-1] < util.Y[0] {
+		t.Fatalf("utilization should grow: %v", util.Y)
+	}
+}
+
+func TestFig11aOrdering(t *testing.T) {
+	res := quickRun(t, "fig11a")
+	g := seriesByName(t, res, "goodput")
+	// Order: PSV, Rand, RL, w/o Jx — strictly increasing.
+	for i := 1; i < len(g.Y); i++ {
+		if g.Y[i] <= g.Y[i-1] {
+			t.Fatalf("scheme ordering violated: %v (%v)", g.Y, res.XTicks)
+		}
+	}
+	paper := seriesByName(t, res, "paper")
+	if len(paper.Y) != 4 || paper.Y[2] != 431 {
+		t.Fatalf("paper reference series wrong: %v", paper.Y)
+	}
+}
+
+func TestFig11bFastJammerWorst(t *testing.T) {
+	res := quickRun(t, "fig11b")
+	g := res.Series[0]
+	// The 0.5 s jammer must be worse than the aligned 3 s jammer.
+	var y05, y3 float64
+	for i, x := range g.X {
+		switch x {
+		case 0.5:
+			y05 = g.Y[i]
+		case 3:
+			y3 = g.Y[i]
+		}
+	}
+	if y05 >= y3 {
+		t.Fatalf("fast jammer goodput %.0f should be below aligned %.0f", y05, y3)
+	}
+}
+
+func TestTable1Values(t *testing.T) {
+	res := quickRun(t, "table1")
+	if len(res.XTicks) != 5 {
+		t.Fatalf("table1 ticks = %v", res.XTicks)
+	}
+	for _, s := range res.Series {
+		if len(s.Y) != 5 {
+			t.Fatalf("table1 series %s has %d values", s.Name, len(s.Y))
+		}
+		if s.Y[0] < 60 {
+			t.Fatalf("%s: ST %.1f%% below expectation at defaults", s.Name, s.Y[0])
+		}
+		for _, v := range s.Y {
+			if v < 0 || v > 100 {
+				t.Fatalf("%s: rate %v outside [0,100]", s.Name, v)
+			}
+		}
+	}
+}
+
+func TestTrainExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment is slow")
+	}
+	res := quickRun(t, "train")
+	m := res.Series[0]
+	params := m.Y[1]
+	if params < 3000 || params > 30000 {
+		t.Fatalf("param count %v far from the paper's 10664", params)
+	}
+	sizeKB := m.Y[2]
+	if sizeKB < 20 || sizeKB > 250 {
+		t.Fatalf("model size %v KB implausible", sizeKB)
+	}
+}
+
+func TestFormatAndCSV(t *testing.T) {
+	res := quickRun(t, "fig10a")
+	var buf bytes.Buffer
+	if err := Format(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig10a") || !strings.Contains(out, "goodput") {
+		t.Fatalf("Format output missing fields:\n%s", out)
+	}
+	buf.Reset()
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 { // header + 5 slot durations
+		t.Fatalf("CSV has %d lines, want 6:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "x,") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if EngineMDP.String() != "mdp" || EngineDQN.String() != "dqn" {
+		t.Fatal("engine strings wrong")
+	}
+	if !strings.Contains(Engine(9).String(), "9") {
+		t.Fatal("unknown engine string wrong")
+	}
+}
+
+func TestOptionsFloor(t *testing.T) {
+	var o Options
+	o = o.withFloor()
+	if o.Slots == 0 || o.Engine == 0 || o.Trials == 0 || o.FieldSlots == 0 || o.TrainSlots == 0 {
+		t.Fatalf("withFloor left zero fields: %+v", o)
+	}
+}
+
+func TestStealthExperiment(t *testing.T) {
+	res := quickRun(t, "stealth")
+	busy := seriesByName(t, res, "busy fraction")
+	events := seriesByName(t, res, "detectable events")
+	// Order: EmuBee, ZigBee, WiFi.
+	if events.Y[0] != 0 {
+		t.Fatalf("EmuBee produced %v detectable events; must be stealthy", events.Y[0])
+	}
+	if events.Y[1] == 0 {
+		t.Fatal("conventional ZigBee jamming left no detectable events")
+	}
+	if busy.Y[0] < 0.5 {
+		t.Fatalf("EmuBee busy fraction %.2f too low to jam", busy.Y[0])
+	}
+	if busy.Y[2] > busy.Y[0] {
+		t.Fatalf("plain WiFi (%.2f) busier than EmuBee (%.2f)", busy.Y[2], busy.Y[0])
+	}
+}
+
+func TestEngineDQNRunsOneSweepPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DQN engine training is slow")
+	}
+	opts := QuickOptions()
+	opts.Engine = EngineDQN
+	opts.Slots = 2000
+	opts.TrainSlots = 5000
+	res, err := Run("table1", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		if s.Y[0] < 40 {
+			t.Fatalf("%s: DQN-engine ST %.1f%% implausibly low", s.Name, s.Y[0])
+		}
+	}
+}
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	// Every registered experiment must run to completion at a tiny
+	// budget and produce non-empty, finite series.
+	if testing.Short() {
+		t.Skip("smoke-running every experiment is slow")
+	}
+	opts := Options{
+		Slots:      800,
+		Engine:     EngineMDP,
+		TrainSlots: 1500,
+		FieldSlots: 40,
+		Trials:     60,
+		Seed:       2,
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Series) == 0 {
+				t.Fatal("no series")
+			}
+			for _, s := range res.Series {
+				if len(s.Y) == 0 {
+					t.Fatalf("series %q empty", s.Name)
+				}
+				for i, y := range s.Y {
+					if y != y || y > 1e12 || y < -1e12 { // NaN / runaway
+						t.Fatalf("series %q point %d = %v", s.Name, i, y)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDetectExperiment(t *testing.T) {
+	res := quickRun(t, "detect")
+	verdicts := res.Series[0]
+	// Order: EmuBee, ZigBee, WiFi-noise. EmuBee must classify as CTJ
+	// (4), never conventional (3); the conventional jammer must be
+	// positively identified (3).
+	if verdicts.Y[0] != 4 {
+		t.Fatalf("EmuBee verdict = %v, want 4 (ct-jamming)", verdicts.Y[0])
+	}
+	if verdicts.Y[1] != 3 {
+		t.Fatalf("ZigBee jammer verdict = %v, want 3 (conventional)", verdicts.Y[1])
+	}
+	ev := seriesByName(t, res, "packet-log evidence")
+	if ev.Y[0] != 0 {
+		t.Fatalf("EmuBee left %v packet-log entries", ev.Y[0])
+	}
+	if ev.Y[1] == 0 {
+		t.Fatal("conventional jammer left no packet-log entries")
+	}
+}

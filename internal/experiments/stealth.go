@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"ctjam/internal/phy/emulate"
+	"ctjam/internal/phy/wifi"
+	"ctjam/internal/phy/zigbee"
+)
+
+// runStealth quantifies the paper's §II-B stealthiness claim: it feeds each
+// jamming signal type through the victim's demodulator and packet-processing
+// state machine and reports (a) how much of the receiver's time the signal
+// occupies and (b) how many defender-visible events (decoded packets, CRC
+// failures) it leaves behind. EmuBee is built as a preamble-flood emulation
+// — ZigBee chip structure with no frame behind it — so it busies the radio
+// while logging nothing.
+func runStealth(o Options) (*Result, error) {
+	rng := rand.New(rand.NewSource(o.Seed))
+	mod, err := zigbee.NewModulator(zigbee.DefaultSamplesPerChip)
+	if err != nil {
+		return nil, err
+	}
+
+	// EmuBee: Wi-Fi emulation of a pure preamble stream (all-zero
+	// symbols), the paper's example of a packet the victim can never
+	// finish decoding.
+	preamble := make([]uint8, 48)
+	designed, err := mod.ModulateSymbols(preamble)
+	if err != nil {
+		return nil, err
+	}
+	em, err := emulate.New()
+	if err != nil {
+		return nil, err
+	}
+	emRes, err := em.Emulate(designed)
+	if err != nil {
+		return nil, err
+	}
+	emuSyms, err := mod.DemodulateSymbols(emRes.Wave, len(preamble))
+	if err != nil {
+		return nil, err
+	}
+
+	// Conventional ZigBee jamming: valid frames with random payloads.
+	var zbSyms []uint8
+	for len(zbSyms) < len(emuSyms) {
+		payload := make([]byte, 8)
+		if _, err := rng.Read(payload); err != nil {
+			return nil, err
+		}
+		frame, err := zigbee.EncodeFrame(payload)
+		if err != nil {
+			return nil, err
+		}
+		zbSyms = append(zbSyms, zigbee.BytesToSymbols(frame)...)
+	}
+
+	// Plain Wi-Fi: OFDM noise demodulated as ZigBee symbols.
+	tx, err := wifi.NewTransmitter(wifi.DefaultScramblerSeed)
+	if err != nil {
+		return nil, err
+	}
+	bits := make([]uint8, 8*wifi.BitsPerOFDMSymbolPayload)
+	for i := range bits {
+		bits[i] = uint8(rng.Intn(2))
+	}
+	wfWave, _, err := tx.Transmit(bits)
+	if err != nil {
+		return nil, err
+	}
+	nWfSyms := len(wfWave) / (zigbee.ChipsPerSymbol * mod.SamplesPerChip())
+	wfSyms, err := mod.DemodulateSymbols(wfWave, nWfSyms)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Title:  "stealthiness of jamming signals at the victim receiver",
+		XLabel: "signal",
+		YLabel: "busy fraction / detectable events",
+		XTicks: []string{"EmuBee", "ZigBee", "WiFi"},
+		PaperNote: "§II-B: EmuBee busies the victim's decoder without producing " +
+			"any loggable packet events; conventional ZigBee jamming is detectable",
+	}
+	busy := Series{Name: "busy fraction"}
+	events := Series{Name: "detectable events"}
+	phantoms := Series{Name: "phantom syncs"}
+	for i, stream := range [][]uint8{emuSyms, zbSyms, wfSyms} {
+		rep := zigbee.ProcessSymbolStream(stream)
+		busy.X = append(busy.X, float64(i))
+		busy.Y = append(busy.Y, rep.BusyFraction())
+		events.X = append(events.X, float64(i))
+		events.Y = append(events.Y, float64(rep.DetectableEvents()))
+		phantoms.X = append(phantoms.X, float64(i))
+		phantoms.Y = append(phantoms.Y, float64(rep.PhantomSyncs))
+	}
+	res.Series = append(res.Series, busy, events, phantoms)
+	return res, nil
+}

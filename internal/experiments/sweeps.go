@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ctjam/internal/core"
+	"ctjam/internal/env"
+	"ctjam/internal/jammer"
+	"ctjam/internal/metrics"
+)
+
+// metric extracts one Table I rate from run counters.
+type metric struct {
+	name  string
+	yAxis string
+	get   func(metrics.Counters) float64
+}
+
+var (
+	metricST = metric{"ST", "success rate of transmission (%)", func(c metrics.Counters) float64 { return 100 * c.ST() }}
+	metricAH = metric{"AH", "adoption rate of FH (%)", func(c metrics.Counters) float64 { return 100 * c.AH() }}
+	metricAP = metric{"AP", "adoption rate of PC (%)", func(c metrics.Counters) float64 { return 100 * c.AP() }}
+	metricSH = metric{"SH", "success rate of FH (%)", func(c metrics.Counters) float64 { return 100 * c.SH() }}
+	metricSP = metric{"SP", "success rate of PC (%)", func(c metrics.Counters) float64 { return 100 * c.SP() }}
+)
+
+// sweep describes one x-axis parameter sweep of Figs. 6-8.
+type sweep struct {
+	name   string
+	xLabel string
+	xs     []float64
+	// configure builds the environment config for one x value.
+	configure func(x float64, mode jammer.PowerMode, seed int64) env.Config
+	paperNote map[string]string // metric name -> what the paper reports
+}
+
+var sweepLJ = sweep{
+	name:   "L_J",
+	xLabel: "L_J",
+	xs:     []float64{10, 15, 20, 25, 30, 35, 40, 45, 50, 60, 70, 80, 90, 100},
+	configure: func(x float64, mode jammer.PowerMode, seed int64) env.Config {
+		cfg := env.DefaultConfig()
+		cfg.LossJam = x
+		cfg.JammerMode = mode
+		cfg.Seed = seed
+		return cfg
+	},
+	paperNote: map[string]string{
+		"ST": "Fig. 6(a): ST 0% for L_J<=15, rising to ~78% for L_J>50; random mode rises earlier",
+		"AH": "Fig. 7(a): AH 0 below L_J~35, then grows toward ~50%",
+		"AP": "Fig. 7(b): AP low in max mode (PC useless), adopted extensively in random mode",
+		"SH": "Fig. 8(a): SH jumps up around L_J 35-55 then declines slowly",
+		"SP": "Fig. 8(b): SP higher in random mode for 15<L_J<55",
+	},
+}
+
+var sweepCycle = sweep{
+	name:   "sweep cycle",
+	xLabel: "sweep cycle (time-slots)",
+	xs:     []float64{2, 3, 4, 6, 8, 10, 12, 14, 16},
+	configure: func(x float64, mode jammer.PowerMode, seed int64) env.Config {
+		cfg := env.DefaultConfig()
+		// Keep the jammer block at 2 channels and scale the channel
+		// count so the sweep cycle ceil(K/m) equals x.
+		cfg.SweepWidth = 2
+		cfg.Channels = 2 * int(x)
+		cfg.JammerMode = mode
+		cfg.Seed = seed
+		return cfg
+	},
+	paperNote: map[string]string{
+		"ST": "Fig. 6(b): ST grows with sweep cycle, ~70% to >90%",
+		"AH": "Fig. 7(c): AH decreases with sweep cycle",
+		"AP": "Fig. 7(d): AP decreases; random mode above max mode",
+		"SH": "Fig. 8(c): SH decreases from ~78% to ~21%",
+		"SP": "Fig. 8(d): SP decreases from ~19% to ~1%",
+	},
+}
+
+var sweepLH = sweep{
+	name:   "L_H",
+	xLabel: "L_H",
+	xs:     []float64{0, 15, 30, 45, 60, 75, 85, 100},
+	configure: func(x float64, mode jammer.PowerMode, seed int64) env.Config {
+		cfg := env.DefaultConfig()
+		cfg.LossHop = x
+		cfg.JammerMode = mode
+		cfg.Seed = seed
+		return cfg
+	},
+	paperNote: map[string]string{
+		"ST": "Fig. 6(c): ST decreases with L_H; random mode drops hard past L_H~85",
+		"AH": "Fig. 7(e): AH decreases with L_H; modes diverge past 85",
+		"AP": "Fig. 7(f): AP rises in random mode as PC replaces FH",
+		"SH": "Fig. 8(e): modes diverge past L_H~85",
+		"SP": "Fig. 8(f): PC replaces FH as dominant in random mode",
+	},
+}
+
+var sweepLp = sweep{
+	name:   "lower bound of L^T",
+	xLabel: "lower bound of L^T",
+	xs:     []float64{6, 7, 8, 9, 10, 11, 12, 13, 14},
+	configure: func(x float64, mode jammer.PowerMode, seed int64) env.Config {
+		cfg := env.DefaultConfig()
+		lb := int(x)
+		tx := make([]float64, 10)
+		for i := range tx {
+			tx[i] = float64(lb + i)
+		}
+		cfg.TxPowers = tx
+		cfg.JammerMode = mode
+		cfg.Seed = seed
+		return cfg
+	},
+	paperNote: map[string]string{
+		"ST": "Fig. 6(d): ST grows slowly for 6-9, reaches 100% for lb>=11",
+		"AH": "Fig. 7(g): AH decreases; inflection at lb=11 where PC suffices",
+		"AP": "Fig. 7(h): AP increases with lb",
+		"SH": "Fig. 8(g): SH falls as PC takes over",
+		"SP": "Fig. 8(h): SP rises as PC takes over",
+	},
+}
+
+// rlAgent builds the engine-selected implementation of the RL FH scheme for
+// one environment configuration, training it if needed.
+func rlAgent(o Options, cfg env.Config) (env.Agent, error) {
+	switch o.Engine {
+	case EngineDQN:
+		acfg := core.DefaultDQNAgentConfig(cfg.Channels, len(cfg.TxPowers), cfg.SweepWidth)
+		acfg.Seed = o.Seed
+		acfg.Epsilon.DecaySteps = o.TrainSlots * 2 / 3
+		agent, err := core.NewDQNAgent(acfg)
+		if err != nil {
+			return nil, err
+		}
+		trainCfg := cfg
+		trainCfg.Seed = o.Seed + 1000
+		trainEnv, err := env.New(trainCfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := agent.Train(trainEnv, o.TrainSlots); err != nil {
+			return nil, err
+		}
+		return agent, nil
+	case EngineMDP:
+		model, err := core.NewModel(core.ParamsFromEnv(cfg))
+		if err != nil {
+			return nil, err
+		}
+		return core.NewMDPAgent(model, nil, cfg.Channels, cfg.SweepWidth)
+	default:
+		return nil, fmt.Errorf("experiments: unknown engine %v", o.Engine)
+	}
+}
+
+// runSweepPoint evaluates the RL FH scheme at one sweep point.
+func runSweepPoint(o Options, cfg env.Config) (metrics.Counters, error) {
+	agent, err := rlAgent(o, cfg)
+	if err != nil {
+		return metrics.Counters{}, err
+	}
+	e, err := env.New(cfg)
+	if err != nil {
+		return metrics.Counters{}, err
+	}
+	return env.Run(e, agent, o.Slots)
+}
+
+// sweepRunner builds the Runner for one (sweep, metric) panel of Figs. 6-8.
+func sweepRunner(sw sweep, m metric) Runner {
+	return func(o Options) (*Result, error) {
+		res := &Result{
+			Title:     fmt.Sprintf("%s vs %s", m.name, sw.name),
+			XLabel:    sw.xLabel,
+			YLabel:    m.yAxis,
+			PaperNote: sw.paperNote[m.name],
+		}
+		modes := []struct {
+			mode jammer.PowerMode
+			name string
+		}{
+			{jammer.ModeMax, "jam w/ max pwr"},
+			{jammer.ModeRandom, "jam w/ rand pwr"},
+		}
+		for _, md := range modes {
+			s := Series{Name: md.name}
+			for _, x := range sw.xs {
+				cfg := sw.configure(x, md.mode, o.Seed)
+				c, err := runSweepPoint(o, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s=%v mode=%v: %w", sw.name, x, md.mode, err)
+				}
+				s.X = append(s.X, x)
+				s.Y = append(s.Y, m.get(c))
+			}
+			res.Series = append(res.Series, s)
+		}
+		return res, nil
+	}
+}
+
+// runTable1 evaluates all Table I metrics at the default parameters for
+// both jammer modes.
+func runTable1(o Options) (*Result, error) {
+	res := &Result{
+		ID:        "table1",
+		Title:     "Table I metrics at default parameters",
+		XLabel:    "metric",
+		YLabel:    "value (%)",
+		XTicks:    []string{"ST", "AH", "SH", "AP", "SP"},
+		PaperNote: "Table I defines ST/AH/SH/AP/SP; §IV-C reports ST~78% at the defaults",
+	}
+	for _, md := range []struct {
+		mode jammer.PowerMode
+		name string
+	}{
+		{jammer.ModeMax, "jam w/ max pwr"},
+		{jammer.ModeRandom, "jam w/ rand pwr"},
+	} {
+		cfg := env.DefaultConfig()
+		cfg.JammerMode = md.mode
+		cfg.Seed = o.Seed
+		c, err := runSweepPoint(o, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, Series{
+			Name: md.name,
+			X:    []float64{0, 1, 2, 3, 4},
+			Y: []float64{
+				100 * c.ST(), 100 * c.AH(), 100 * c.SH(), 100 * c.AP(), 100 * c.SP(),
+			},
+		})
+	}
+	return res, nil
+}

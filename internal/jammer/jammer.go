@@ -1,0 +1,192 @@
+// Package jammer models the paper's cross-technology jammer (§II-C): a
+// Wi-Fi device that sweeps the 16 ZigBee channels in blocks of m consecutive
+// channels per time slot (m=4 for EmuBee, giving a 4-slot sweep cycle),
+// locks onto the victim's channel block once it senses the victim, jams with
+// a mode-dependent power level, and resumes sweeping when the victim leaves.
+package jammer
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PowerMode selects how the jammer picks its per-slot power level (§II-C1).
+type PowerMode int
+
+// Jammer power modes.
+const (
+	// ModeMax is the high-performance mode: always the largest level.
+	ModeMax PowerMode = iota + 1
+	// ModeRandom is the hidden mode: a uniformly random level, trading
+	// jamming strength for stealth.
+	ModeRandom
+)
+
+// String implements fmt.Stringer.
+func (m PowerMode) String() string {
+	switch m {
+	case ModeMax:
+		return "max"
+	case ModeRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("PowerMode(%d)", int(m))
+	}
+}
+
+// Sweeper is the time-slotted frequency-sweeping jammer. It is not safe for
+// concurrent use.
+type Sweeper struct {
+	channels int
+	width    int
+	blocks   int
+	powers   []float64
+	mode     PowerMode
+	rng      *rand.Rand
+
+	remaining []int // blocks not yet scanned in the current cycle
+	locked    bool
+	lockBlock int
+}
+
+// NewSweeper builds a jammer over `channels` channels scanning `width`
+// consecutive channels per slot with the given power levels.
+func NewSweeper(channels, width int, powers []float64, mode PowerMode, rng *rand.Rand) (*Sweeper, error) {
+	if channels <= 0 {
+		return nil, fmt.Errorf("jammer: channels %d must be positive", channels)
+	}
+	if width <= 0 || width > channels {
+		return nil, fmt.Errorf("jammer: sweep width %d out of range [1,%d]", width, channels)
+	}
+	if len(powers) == 0 {
+		return nil, fmt.Errorf("jammer: at least one power level required")
+	}
+	if mode != ModeMax && mode != ModeRandom {
+		return nil, fmt.Errorf("jammer: unknown power mode %d", mode)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("jammer: rng must not be nil")
+	}
+	ps := make([]float64, len(powers))
+	copy(ps, powers)
+	s := &Sweeper{
+		channels: channels,
+		width:    width,
+		blocks:   (channels + width - 1) / width,
+		powers:   ps,
+		mode:     mode,
+		rng:      rng,
+	}
+	s.refill()
+	return s, nil
+}
+
+// Blocks returns the number of channel blocks, i.e. the sweep cycle length
+// ceil(K/m).
+func (s *Sweeper) Blocks() int { return s.blocks }
+
+// BlockOf returns the block index covering the channel.
+func (s *Sweeper) BlockOf(channel int) (int, error) {
+	if channel < 0 || channel >= s.channels {
+		return 0, fmt.Errorf("jammer: channel %d out of range [0,%d)", channel, s.channels)
+	}
+	return channel / s.width, nil
+}
+
+// Locked reports whether the jammer is currently locked onto a block.
+func (s *Sweeper) Locked() bool { return s.locked }
+
+// LockedBlock returns the block the jammer is locked onto; ok is false when
+// the jammer is sweeping.
+func (s *Sweeper) LockedBlock() (block int, ok bool) {
+	if !s.locked {
+		return 0, false
+	}
+	return s.lockBlock, true
+}
+
+// Reset returns the sweeper to the beginning of a fresh cycle.
+func (s *Sweeper) Reset() {
+	s.locked = false
+	s.refill()
+}
+
+func (s *Sweeper) refill() {
+	s.remaining = s.remaining[:0]
+	for b := 0; b < s.blocks; b++ {
+		s.remaining = append(s.remaining, b)
+	}
+}
+
+// popRandomBlock removes and returns a uniformly random unscanned block,
+// refilling the cycle when exhausted.
+func (s *Sweeper) popRandomBlock() int {
+	if len(s.remaining) == 0 {
+		s.refill()
+	}
+	i := s.rng.Intn(len(s.remaining))
+	b := s.remaining[i]
+	s.remaining[i] = s.remaining[len(s.remaining)-1]
+	s.remaining = s.remaining[:len(s.remaining)-1]
+	return b
+}
+
+// Power draws the jamming power for one slot according to the mode.
+func (s *Sweeper) Power() float64 {
+	switch s.mode {
+	case ModeRandom:
+		return s.powers[s.rng.Intn(len(s.powers))]
+	default:
+		best := s.powers[0]
+		for _, p := range s.powers[1:] {
+			if p > best {
+				best = p
+			}
+		}
+		return best
+	}
+}
+
+// MaxPower returns the largest configured power level.
+func (s *Sweeper) MaxPower() float64 {
+	best := s.powers[0]
+	for _, p := range s.powers[1:] {
+		if p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// Step advances the jammer by one time slot given the channel the victim
+// transmits on this slot. It reports whether the victim's channel is inside
+// the jammed block this slot and, if so, the jamming power used.
+//
+// Behaviour per §II-C2: a locked jammer keeps jamming its block while the
+// victim stays there. When it notices (by monitoring at the slot start)
+// that the victim left, it spends that slot returning to the sweep — the
+// monitoring slot scans nothing — and restarts a fresh sweep cycle from the
+// next slot, since its pre-lock scan information is stale.
+func (s *Sweeper) Step(victimChannel int) (jammed bool, power float64, err error) {
+	victimBlock, err := s.BlockOf(victimChannel)
+	if err != nil {
+		return false, 0, err
+	}
+	if s.locked {
+		if victimBlock == s.lockBlock {
+			return true, s.Power(), nil
+		}
+		// Victim escaped: the jammer spends this slot detecting the
+		// departure and restarts its sweep next slot.
+		s.locked = false
+		s.refill()
+		return false, 0, nil
+	}
+	scanned := s.popRandomBlock()
+	if scanned == victimBlock {
+		s.locked = true
+		s.lockBlock = scanned
+		return true, s.Power(), nil
+	}
+	return false, 0, nil
+}

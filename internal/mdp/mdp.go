@@ -1,0 +1,210 @@
+// Package mdp provides a generic finite Markov-decision-process solver:
+// Bellman-optimality value iteration (the contraction-mapping construction
+// used in the paper's Theorem III.1 proof), greedy policy extraction and
+// policy evaluation.
+package mdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Transition is one outcome of taking an action: the next state and its
+// probability.
+type Transition struct {
+	Next int
+	Prob float64
+}
+
+// Model is a finite MDP. States and actions are dense integer indices.
+// Implementations must return transition distributions that sum to 1 for
+// every (state, action) pair.
+type Model interface {
+	// NumStates returns the number of states.
+	NumStates() int
+	// NumActions returns the number of actions (shared by all states).
+	NumActions() int
+	// Transitions returns the transition distribution of (state, action).
+	Transitions(state, action int) []Transition
+	// Reward returns the immediate reward U(x, a, x') of moving from
+	// state to next under action.
+	Reward(state, action, next int) float64
+}
+
+// Solution holds the result of value iteration.
+type Solution struct {
+	// V is the optimal state-value function.
+	V []float64
+	// Q is the optimal action-value function, Q[state][action].
+	Q [][]float64
+	// Policy is the greedy policy: Policy[state] is the argmax action.
+	Policy []int
+	// Iterations is the number of sweeps performed.
+	Iterations int
+	// Residual is the final max-norm Bellman residual.
+	Residual float64
+}
+
+// Solver errors.
+var (
+	ErrBadDiscount   = errors.New("mdp: discount factor must be in [0, 1)")
+	ErrEmptyModel    = errors.New("mdp: model has no states or actions")
+	ErrNotConverged  = errors.New("mdp: value iteration did not converge")
+	ErrBadTransition = errors.New("mdp: transition probabilities invalid")
+)
+
+// ValidateModel checks that every (state, action) transition distribution is
+// a probability distribution over valid states.
+func ValidateModel(m Model) error {
+	nS, nA := m.NumStates(), m.NumActions()
+	if nS == 0 || nA == 0 {
+		return ErrEmptyModel
+	}
+	for s := 0; s < nS; s++ {
+		for a := 0; a < nA; a++ {
+			var sum float64
+			for _, tr := range m.Transitions(s, a) {
+				if tr.Next < 0 || tr.Next >= nS {
+					return fmt.Errorf("%w: state %d action %d -> next %d out of range",
+						ErrBadTransition, s, a, tr.Next)
+				}
+				if tr.Prob < -1e-12 {
+					return fmt.Errorf("%w: state %d action %d has negative probability %v",
+						ErrBadTransition, s, a, tr.Prob)
+				}
+				sum += tr.Prob
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return fmt.Errorf("%w: state %d action %d probabilities sum to %v",
+					ErrBadTransition, s, a, sum)
+			}
+		}
+	}
+	return nil
+}
+
+// BellmanBackup applies one Bellman-optimality backup to v, writing the
+// result into out (which must have NumStates elements), and returns the
+// max-norm change. This is the contraction mapping of Eq. (20).
+func BellmanBackup(m Model, gamma float64, v, out []float64) float64 {
+	nS, nA := m.NumStates(), m.NumActions()
+	var delta float64
+	for s := 0; s < nS; s++ {
+		best := math.Inf(-1)
+		for a := 0; a < nA; a++ {
+			var q float64
+			for _, tr := range m.Transitions(s, a) {
+				q += tr.Prob * (m.Reward(s, a, tr.Next) + gamma*v[tr.Next])
+			}
+			if q > best {
+				best = q
+			}
+		}
+		if d := math.Abs(best - v[s]); d > delta {
+			delta = d
+		}
+		out[s] = best
+	}
+	return delta
+}
+
+// Solve runs value iteration to the given max-norm tolerance (or maxIter
+// sweeps) and extracts the optimal Q function and greedy policy.
+func Solve(m Model, gamma, tol float64, maxIter int) (*Solution, error) {
+	if gamma < 0 || gamma >= 1 {
+		return nil, fmt.Errorf("%w: got %v", ErrBadDiscount, gamma)
+	}
+	if err := ValidateModel(m); err != nil {
+		return nil, err
+	}
+	nS, nA := m.NumStates(), m.NumActions()
+	v := make([]float64, nS)
+	next := make([]float64, nS)
+	var (
+		iter  int
+		delta float64
+	)
+	for iter = 1; iter <= maxIter; iter++ {
+		delta = BellmanBackup(m, gamma, v, next)
+		v, next = next, v
+		if delta <= tol {
+			break
+		}
+	}
+	if delta > tol {
+		return nil, fmt.Errorf("%w: residual %v after %d iterations", ErrNotConverged, delta, maxIter)
+	}
+
+	q := make([][]float64, nS)
+	policy := make([]int, nS)
+	for s := 0; s < nS; s++ {
+		q[s] = make([]float64, nA)
+		bestA, best := 0, math.Inf(-1)
+		for a := 0; a < nA; a++ {
+			var qa float64
+			for _, tr := range m.Transitions(s, a) {
+				qa += tr.Prob * (m.Reward(s, a, tr.Next) + gamma*v[tr.Next])
+			}
+			q[s][a] = qa
+			if qa > best {
+				best, bestA = qa, a
+			}
+		}
+		policy[s] = bestA
+		v[s] = best
+	}
+	return &Solution{V: v, Q: q, Policy: policy, Iterations: iter, Residual: delta}, nil
+}
+
+// EvaluatePolicy computes the value function of a fixed policy by iterative
+// policy evaluation.
+func EvaluatePolicy(m Model, policy []int, gamma, tol float64, maxIter int) ([]float64, error) {
+	if gamma < 0 || gamma >= 1 {
+		return nil, fmt.Errorf("%w: got %v", ErrBadDiscount, gamma)
+	}
+	nS := m.NumStates()
+	if len(policy) != nS {
+		return nil, fmt.Errorf("mdp: policy has %d entries, want %d", len(policy), nS)
+	}
+	for s, a := range policy {
+		if a < 0 || a >= m.NumActions() {
+			return nil, fmt.Errorf("mdp: policy action %d at state %d out of range", a, s)
+		}
+	}
+	v := make([]float64, nS)
+	next := make([]float64, nS)
+	for iter := 0; iter < maxIter; iter++ {
+		var delta float64
+		for s := 0; s < nS; s++ {
+			var val float64
+			for _, tr := range m.Transitions(s, policy[s]) {
+				val += tr.Prob * (m.Reward(s, policy[s], tr.Next) + gamma*v[tr.Next])
+			}
+			if d := math.Abs(val - v[s]); d > delta {
+				delta = d
+			}
+			next[s] = val
+		}
+		v, next = next, v
+		if delta <= tol {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: policy evaluation", ErrNotConverged)
+}
+
+// GreedyPolicy extracts the argmax policy from an action-value table.
+func GreedyPolicy(q [][]float64) []int {
+	policy := make([]int, len(q))
+	for s, row := range q {
+		bestA, best := 0, math.Inf(-1)
+		for a, v := range row {
+			if v > best {
+				best, bestA = v, a
+			}
+		}
+		policy[s] = bestA
+	}
+	return policy
+}

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRatesZeroSafe(t *testing.T) {
+	var c Counters
+	if c.ST() != 0 || c.AH() != 0 || c.SH() != 0 || c.AP() != 0 || c.SP() != 0 || c.JamRate() != 0 {
+		t.Fatal("zero counters must give zero rates")
+	}
+}
+
+func TestRatesKnown(t *testing.T) {
+	c := Counters{
+		Slots:       100,
+		Successes:   78,
+		JammedSlots: 30,
+		JamLosses:   22,
+		Hops:        40,
+		UsefulHops:  28,
+		PCSlots:     50,
+		UsefulPCs:   10,
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"ST", c.ST(), 0.78},
+		{"AH", c.AH(), 0.40},
+		{"SH", c.SH(), 0.70},
+		{"AP", c.AP(), 0.50},
+		{"SP", c.SP(), 0.20},
+		{"JamRate", c.JamRate(), 0.30},
+	}
+	for _, tt := range tests {
+		if math.Abs(tt.got-tt.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", tt.name, tt.got, tt.want)
+		}
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Counters{Slots: 10, Successes: 8, Hops: 2, UsefulHops: 1, JamLosses: 2}
+	b := Counters{Slots: 10, Successes: 6, Hops: 4, UsefulHops: 2, JamLosses: 4}
+	a.Add(b)
+	if a.Slots != 20 || a.Successes != 14 || a.Hops != 6 || a.UsefulHops != 3 {
+		t.Fatalf("Add result %+v", a)
+	}
+}
+
+func TestValidateCatchesInconsistency(t *testing.T) {
+	bad := []Counters{
+		{Slots: 10, Successes: 11},
+		{Slots: 10, Successes: 10, Hops: -1},
+		{Slots: 10, Successes: 10, JamLosses: 1},
+		{Slots: 10, Successes: 8, JamLosses: 2, UsefulHops: 1},
+		{Slots: 10, Successes: 8, JamLosses: 2, JammedSlots: 1, UsefulPCs: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, c)
+		}
+	}
+}
+
+func TestStringContainsRates(t *testing.T) {
+	c := Counters{Slots: 4, Successes: 3, JamLosses: 1}
+	s := c.String()
+	if s == "" || len(s) < 10 {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Mean = %v", got)
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if got := StdDev(xs); math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Fatal("StdDev of single value should be 0")
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	mean, hw := MeanCI95([]float64{1, 1, 1, 1})
+	if mean != 1 || hw != 0 {
+		t.Fatalf("constant data: mean=%v hw=%v", mean, hw)
+	}
+	_, hw = MeanCI95([]float64{0, 10, 0, 10, 0, 10})
+	if hw <= 0 {
+		t.Fatal("variable data must have positive CI width")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-0.5, 1}, {2, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("Percentile(nil) != 0")
+	}
+}
+
+func TestPercentileMatchesSortProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sorted := make([]float64, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		return Percentile(xs, 0) == sorted[0] && Percentile(xs, 1) == sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatesBoundedProperty(t *testing.T) {
+	f := func(slots, succ, hops, uh uint8) bool {
+		s := int(slots)
+		c := Counters{
+			Slots:      s,
+			Successes:  min(int(succ), s),
+			Hops:       min(int(hops), s),
+			UsefulHops: min(int(uh), min(int(hops), s)),
+		}
+		for _, r := range []float64{c.ST(), c.AH(), c.SH()} {
+			if r < 0 || r > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

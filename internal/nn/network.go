@@ -1,0 +1,265 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Param is a trainable parameter tensor with its gradient accumulator.
+type Param struct {
+	Value *Matrix
+	Grad  *Matrix
+}
+
+// ZeroGrad clears the gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad.Data {
+		p.Grad.Data[i] = 0
+	}
+}
+
+// Layer is a differentiable network stage. Forward caches whatever Backward
+// needs; Backward accumulates parameter gradients and returns the gradient
+// with respect to the layer input.
+type Layer interface {
+	Forward(x *Matrix) (*Matrix, error)
+	Backward(gradOut *Matrix) (*Matrix, error)
+	Params() []*Param
+}
+
+// Dense is a fully-connected layer: y = x@W + b.
+type Dense struct {
+	W *Param
+	B *Param
+
+	lastInput *Matrix
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense creates a Dense layer with Xavier-initialized weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	w := NewMatrix(in, out)
+	w.XavierInit(in, out, rng)
+	return &Dense{
+		W: &Param{Value: w, Grad: NewMatrix(in, out)},
+		B: &Param{Value: NewMatrix(1, out), Grad: NewMatrix(1, out)},
+	}
+}
+
+// Forward computes x@W + b, caching x for the backward pass.
+func (d *Dense) Forward(x *Matrix) (*Matrix, error) {
+	d.lastInput = x
+	y, err := MatMul(x, d.W.Value)
+	if err != nil {
+		return nil, fmt.Errorf("dense forward: %w", err)
+	}
+	if err := y.AddRowVector(d.B.Value); err != nil {
+		return nil, fmt.Errorf("dense forward: %w", err)
+	}
+	return y, nil
+}
+
+// Backward accumulates dW = x^T @ g and db = column sums of g, and returns
+// dx = g @ W^T.
+func (d *Dense) Backward(gradOut *Matrix) (*Matrix, error) {
+	if d.lastInput == nil {
+		return nil, fmt.Errorf("dense backward called before forward")
+	}
+	dW, err := MatMul(d.lastInput.Transpose(), gradOut)
+	if err != nil {
+		return nil, fmt.Errorf("dense backward dW: %w", err)
+	}
+	for i := range dW.Data {
+		d.W.Grad.Data[i] += dW.Data[i]
+	}
+	for i := 0; i < gradOut.Rows; i++ {
+		for j := 0; j < gradOut.Cols; j++ {
+			d.B.Grad.Data[j] += gradOut.At(i, j)
+		}
+	}
+	dx, err := MatMul(gradOut, d.W.Value.Transpose())
+	if err != nil {
+		return nil, fmt.Errorf("dense backward dx: %w", err)
+	}
+	return dx, nil
+}
+
+// Params returns the layer's weight and bias.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// Forward zeroes negative activations.
+func (r *ReLU) Forward(x *Matrix) (*Matrix, error) {
+	out := x.Clone()
+	if cap(r.mask) < len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	r.mask = r.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Backward gates the incoming gradient by the forward mask.
+func (r *ReLU) Backward(gradOut *Matrix) (*Matrix, error) {
+	if len(r.mask) != len(gradOut.Data) {
+		return nil, fmt.Errorf("relu backward: mask size %d vs grad %d", len(r.mask), len(gradOut.Data))
+	}
+	out := gradOut.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Network is a feed-forward stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewMLP builds a multi-layer perceptron with the given layer sizes and ReLU
+// activations between dense layers (none after the output layer), matching
+// the paper's 4-layer architecture when sizes has 4 entries.
+func NewMLP(sizes []int, rng *rand.Rand) (*Network, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("nn: mlp needs at least 2 sizes, got %d", len(sizes))
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("nn: mlp size %d invalid", s)
+		}
+	}
+	var layers []Layer
+	for i := 0; i+1 < len(sizes); i++ {
+		layers = append(layers, NewDense(sizes[i], sizes[i+1], rng))
+		if i+2 < len(sizes) {
+			layers = append(layers, &ReLU{})
+		}
+	}
+	return &Network{Layers: layers}, nil
+}
+
+// Forward runs the network on a batch (rows are samples).
+func (n *Network) Forward(x *Matrix) (*Matrix, error) {
+	cur := x
+	for i, l := range n.Layers {
+		var err error
+		cur, err = l.Forward(cur)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+	}
+	return cur, nil
+}
+
+// Backward propagates the loss gradient through all layers, accumulating
+// parameter gradients.
+func (n *Network) Backward(gradOut *Matrix) error {
+	cur := gradOut
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		var err error
+		cur, err = n.Layers[i].Backward(cur)
+		if err != nil {
+			return fmt.Errorf("layer %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Params returns all trainable parameters.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears every parameter gradient.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// ParamCount returns the total number of scalar parameters (the paper
+// reports 10 664 floats / 42.7 KB for its trained model).
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.Value.Data)
+	}
+	return total
+}
+
+// Clone returns a structural deep copy of the network (used for DQN target
+// networks).
+func (n *Network) Clone() (*Network, error) {
+	out := &Network{}
+	for _, l := range n.Layers {
+		switch layer := l.(type) {
+		case *Dense:
+			out.Layers = append(out.Layers, &Dense{
+				W: &Param{Value: layer.W.Value.Clone(), Grad: NewMatrix(layer.W.Grad.Rows, layer.W.Grad.Cols)},
+				B: &Param{Value: layer.B.Value.Clone(), Grad: NewMatrix(layer.B.Grad.Rows, layer.B.Grad.Cols)},
+			})
+		case *ReLU:
+			out.Layers = append(out.Layers, &ReLU{})
+		default:
+			return nil, fmt.Errorf("nn: cannot clone layer type %T", l)
+		}
+	}
+	return out, nil
+}
+
+// CopyWeightsFrom overwrites this network's parameters with src's. The two
+// networks must have identical shapes.
+func (n *Network) CopyWeightsFrom(src *Network) error {
+	dst, from := n.Params(), src.Params()
+	if len(dst) != len(from) {
+		return fmt.Errorf("nn: parameter count mismatch %d vs %d", len(dst), len(from))
+	}
+	for i := range dst {
+		if len(dst[i].Value.Data) != len(from[i].Value.Data) {
+			return fmt.Errorf("nn: parameter %d shape mismatch", i)
+		}
+		copy(dst[i].Value.Data, from[i].Value.Data)
+	}
+	return nil
+}
+
+// MSELoss returns the mean-squared-error 0.5*mean((pred-target)^2) and its
+// gradient with respect to pred.
+func MSELoss(pred, target *Matrix) (float64, *Matrix, error) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		return 0, nil, fmt.Errorf("nn: mse shape mismatch (%dx%d) vs (%dx%d)",
+			pred.Rows, pred.Cols, target.Rows, target.Cols)
+	}
+	grad := NewMatrix(pred.Rows, pred.Cols)
+	var loss float64
+	n := float64(len(pred.Data))
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += 0.5 * d * d / n
+		grad.Data[i] = d / n
+	}
+	return loss, grad, nil
+}

@@ -1,0 +1,300 @@
+// Package emulate implements the paper's cross-technology signal emulation
+// (Fig. 1): a Wi-Fi transmitter produces a waveform that a ZigBee receiver
+// accepts as a ZigBee signal ("EmuBee").
+//
+// The pipeline is the inverse of the Wi-Fi PHY followed by the forward
+// Wi-Fi PHY:
+//
+//	designed waveform --FFT--> subcarrier points --quantize to alpha-scaled
+//	64-QAM--> hard bits --deinterleave--> --Viterbi--> --descramble-->
+//	bit sequence --standard Wi-Fi TX--> emulated waveform
+//
+// The quantization step implements Eq. (1)-(2): E(alpha) = sum_j min_i
+// (alpha*P_i - P_j)^2 is minimized over the scale alpha applied to the
+// 64-QAM constellation. E is convex in alpha (the paper notes E” > 0), so a
+// ternary search converges to the global minimum.
+package emulate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ctjam/internal/dsp"
+	"ctjam/internal/phy/wifi"
+)
+
+// DefaultBinOffset places the emulated ZigBee channel 13 OFDM subcarriers
+// (4.0625 MHz) above the Wi-Fi channel center: inside the Wi-Fi band, away
+// from DC and the guard bands, and clear of the pilot subcarriers at ±7 and
+// ±21 so the ZigBee main lobe is fully representable. One Wi-Fi channel
+// overlaps four ZigBee channels; the offset selects which one is hit.
+const DefaultBinOffset = 13
+
+// ErrEmptyWaveform is returned when the designed waveform is empty.
+var ErrEmptyWaveform = errors.New("emulate: empty designed waveform")
+
+// Emulator converts designed waveforms into Wi-Fi-transmittable emulations.
+type Emulator struct {
+	seed      uint8
+	binOffset int
+	optimize  bool
+}
+
+// Option configures an Emulator.
+type Option interface {
+	apply(*Emulator)
+}
+
+type seedOption uint8
+
+func (o seedOption) apply(e *Emulator) { e.seed = uint8(o) }
+
+// WithScramblerSeed sets the Wi-Fi scrambler seed (nonzero 7-bit value).
+func WithScramblerSeed(seed uint8) Option { return seedOption(seed) }
+
+type binOffsetOption int
+
+func (o binOffsetOption) apply(e *Emulator) { e.binOffset = int(o) }
+
+// WithBinOffset sets the subcarrier offset at which the designed waveform is
+// placed inside the Wi-Fi channel.
+func WithBinOffset(bins int) Option { return binOffsetOption(bins) }
+
+type optimizeOption bool
+
+func (o optimizeOption) apply(e *Emulator) { e.optimize = bool(o) }
+
+// WithAlphaOptimization enables (default) or disables the Eq. (2) scale
+// optimization. Disabled corresponds to the prior designs the paper improves
+// on, which use the constellation at its native scale.
+func WithAlphaOptimization(on bool) Option { return optimizeOption(on) }
+
+// New returns an Emulator.
+func New(opts ...Option) (*Emulator, error) {
+	e := &Emulator{
+		seed:      wifi.DefaultScramblerSeed,
+		binOffset: DefaultBinOffset,
+		optimize:  true,
+	}
+	for _, o := range opts {
+		o.apply(e)
+	}
+	if e.seed&0x7F == 0 {
+		return nil, errors.New("emulate: scrambler seed must be nonzero")
+	}
+	if e.binOffset < -20 || e.binOffset > 20 {
+		return nil, fmt.Errorf("emulate: bin offset %d outside usable subcarriers", e.binOffset)
+	}
+	return e, nil
+}
+
+// Result is the outcome of one emulation run.
+type Result struct {
+	// Alpha is the constellation scale chosen by the optimizer (1 when
+	// optimization is disabled).
+	Alpha float64
+	// QuantError is E(Alpha), the total squared quantization error of
+	// Eq. (1).
+	QuantError float64
+	// Bits is the Wi-Fi payload bit sequence that regenerates the
+	// emulated waveform through a standard transmitter.
+	Bits []uint8
+	// Wave is the emulated waveform at complex baseband, frequency
+	// shifted back so it is directly comparable with (and decodable as)
+	// the designed waveform.
+	Wave []complex128
+	// Symbols is the number of OFDM symbols used.
+	Symbols int
+	// EVM is the error-vector magnitude of Wave against the designed
+	// waveform over the compared span.
+	EVM float64
+}
+
+// QuantizationError evaluates E(alpha) of Eq. (1) for a set of target
+// subcarrier points against the alpha-scaled 64-QAM constellation.
+func QuantizationError(targets []complex128, alpha float64) float64 {
+	if alpha <= 0 {
+		return math.Inf(1)
+	}
+	var e float64
+	for _, p := range targets {
+		// |alpha*Pi - Pj|^2 = alpha^2 * |Pi - Pj/alpha|^2 with Pi the
+		// nearest constellation point to Pj/alpha.
+		_, d := wifi.NearestQAM64(p / complex(alpha, 0))
+		e += alpha * alpha * d
+	}
+	return e
+}
+
+// OptimizeAlpha minimizes E(alpha). The paper treats E as convex (its
+// E” > 0 argument); strictly, a sum of min-of-quadratics is only
+// *piecewise* convex, so a pure ternary search can settle into a local
+// basin. We therefore scan a dense coarse grid over the plausible range to
+// bracket the global basin and refine inside it by ternary search —
+// still O(M log M) per evaluation as the paper prescribes. It returns the
+// optimal alpha and E(alpha).
+func OptimizeAlpha(targets []complex128) (alpha, errValue float64) {
+	if len(targets) == 0 {
+		return 1, 0
+	}
+	maxAbs := 0.0
+	for _, p := range targets {
+		if a := cmplx.Abs(p); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 1, 0
+	}
+	// With alpha >= maxAbs the whole target set fits inside the scaled
+	// constellation's innermost ring, so the optimum lies below 2*maxAbs.
+	const coarsePoints = 1024
+	span := 2 * maxAbs
+	step := span / coarsePoints
+	bestA, bestE := step, math.Inf(1)
+	for i := 1; i <= coarsePoints; i++ {
+		a := float64(i) * step
+		if e := QuantizationError(targets, a); e < bestE {
+			bestA, bestE = a, e
+		}
+	}
+	// Refine within the bracketing neighbours of the coarse winner.
+	lo := bestA - step
+	if lo <= 0 {
+		lo = step / 16
+	}
+	hi := bestA + step
+	for iter := 0; iter < 80 && hi-lo > 1e-10*maxAbs; iter++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if QuantizationError(targets, m1) <= QuantizationError(targets, m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	alpha = (lo + hi) / 2
+	if e := QuantizationError(targets, alpha); e < bestE {
+		return alpha, e
+	}
+	return bestA, bestE
+}
+
+// FrequencyShift multiplies the waveform by exp(2*pi*i*binOffset*n/64),
+// moving its spectrum by binOffset OFDM subcarrier spacings (312.5 kHz
+// each at 20 MHz sampling).
+func FrequencyShift(wave []complex128, binOffset int) []complex128 {
+	out := make([]complex128, len(wave))
+	step := 2 * math.Pi * float64(binOffset) / float64(wifi.FFTSize)
+	for n, v := range wave {
+		out[n] = v * cmplx.Rect(1, step*float64(n))
+	}
+	return out
+}
+
+// Emulate produces the EmuBee waveform for a designed complex-baseband
+// waveform sampled at 20 MHz (e.g. a ZigBee O-QPSK waveform from
+// zigbee.Modulator with 10 samples/chip). The designed waveform is padded
+// to a whole number of OFDM symbols.
+func (e *Emulator) Emulate(designed []complex128) (*Result, error) {
+	if len(designed) == 0 {
+		return nil, ErrEmptyWaveform
+	}
+	nSym := (len(designed) + wifi.SymbolLen - 1) / wifi.SymbolLen
+	shifted := FrequencyShift(dsp.ZeroPad(designed, nSym*wifi.SymbolLen), e.binOffset)
+
+	// Collect the target subcarrier points of every OFDM symbol body.
+	targets := make([]complex128, 0, nSym*wifi.DataSubcarriers)
+	for s := 0; s < nSym; s++ {
+		body := shifted[s*wifi.SymbolLen+wifi.CPLen : (s+1)*wifi.SymbolLen]
+		spec, err := wifi.SpectrumOfWindow(body)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, spec...)
+	}
+
+	alpha := 1.0
+	if e.optimize {
+		alpha, _ = OptimizeAlpha(targets)
+	}
+	quantErr := QuantizationError(targets, alpha)
+
+	// Quantize each target to the alpha-scaled constellation and demap to
+	// hard bits (the inverse Wi-Fi chain of Fig. 1).
+	coded := make([]uint8, 0, nSym*wifi.CodedBitsPerSymbol)
+	for s := 0; s < nSym; s++ {
+		pts := make([]complex128, wifi.DataSubcarriers)
+		for i := 0; i < wifi.DataSubcarriers; i++ {
+			t := targets[s*wifi.DataSubcarriers+i] // target point P_j
+			q, _ := wifi.NearestQAM64(t / complex(alpha, 0))
+			pts[i] = q
+		}
+		deinter, err := wifi.Deinterleave(wifi.DemapQAM64(pts))
+		if err != nil {
+			return nil, err
+		}
+		coded = append(coded, deinter...)
+	}
+	decoded, err := wifi.ViterbiDecode(coded, false)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := wifi.Descramble(decoded, e.seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Forward chain: a stock Wi-Fi transmitter sends the recovered bits.
+	scrambled, err := wifi.Scramble(payload, e.seed)
+	if err != nil {
+		return nil, err
+	}
+	recoded := wifi.ConvEncode(scrambled)
+	wave := make([]complex128, 0, nSym*wifi.SymbolLen)
+	for s := 0; s < nSym; s++ {
+		chunk := recoded[s*wifi.CodedBitsPerSymbol : (s+1)*wifi.CodedBitsPerSymbol]
+		inter, err := wifi.Interleave(chunk)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := wifi.MapQAM64(inter)
+		if err != nil {
+			return nil, err
+		}
+		// The transmitter scales its constellation by alpha so the
+		// emitted amplitudes match the designed spectrum.
+		for i := range pts {
+			pts[i] *= complex(alpha, 0)
+		}
+		sym, err := wifi.AssembleSymbol(pts)
+		if err != nil {
+			return nil, err
+		}
+		wave = append(wave, sym...)
+	}
+
+	// Shift back so the result sits on the ZigBee channel's baseband.
+	back := FrequencyShift(wave, -e.binOffset)
+	// Absolute amplitude is a free parameter (the jammer's TX gain), so
+	// fidelity is measured after a least-squares complex gain match:
+	// g = <designed, emitted> / <emitted, emitted>.
+	evm := math.Inf(1)
+	span := back[:len(designed)]
+	if eE := dsp.Energy(span); eE > 0 {
+		g := dsp.Correlate(designed, span) / complex(eE, 0)
+		if v, err := dsp.EVM(dsp.Scale(span, g), designed); err == nil {
+			evm = v
+		}
+	}
+	return &Result{
+		Alpha:      alpha,
+		QuantError: quantErr,
+		Bits:       payload,
+		Wave:       back,
+		Symbols:    nSym,
+		EVM:        evm,
+	}, nil
+}

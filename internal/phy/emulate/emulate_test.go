@@ -1,0 +1,377 @@
+package emulate
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ctjam/internal/dsp"
+	"ctjam/internal/phy/wifi"
+	"ctjam/internal/phy/zigbee"
+)
+
+func randTargets(r *rand.Rand, n int, scale float64) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(r.NormFloat64()*scale, r.NormFloat64()*scale)
+	}
+	return out
+}
+
+func TestQuantizationErrorZeroOnConstellation(t *testing.T) {
+	// Targets that sit exactly on the alpha-scaled constellation have
+	// zero quantization error.
+	pts := wifi.QAM64Points()
+	const alpha = 3.7
+	scaled := dsp.Scale(pts, complex(alpha, 0))
+	if e := QuantizationError(scaled, alpha); e > 1e-18 {
+		t.Fatalf("E(alpha) = %v, want 0", e)
+	}
+}
+
+func TestQuantizationErrorInvalidAlpha(t *testing.T) {
+	tg := []complex128{1}
+	if !math.IsInf(QuantizationError(tg, 0), 1) {
+		t.Fatal("alpha=0 must give +Inf")
+	}
+	if !math.IsInf(QuantizationError(tg, -1), 1) {
+		t.Fatal("alpha<0 must give +Inf")
+	}
+}
+
+func TestOptimizeAlphaRecoversKnownScale(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts := wifi.QAM64Points()
+	const want = 2.5
+	targets := make([]complex128, 100)
+	for i := range targets {
+		targets[i] = pts[r.Intn(len(pts))] * want
+	}
+	alpha, e := OptimizeAlpha(targets)
+	if math.Abs(alpha-want) > 0.01 {
+		t.Fatalf("alpha = %v, want %v", alpha, want)
+	}
+	if e > 1e-6 {
+		t.Fatalf("E = %v, want ~0", e)
+	}
+}
+
+func TestOptimizeAlphaDegenerateInputs(t *testing.T) {
+	if a, e := OptimizeAlpha(nil); a != 1 || e != 0 {
+		t.Fatalf("empty targets: alpha=%v e=%v", a, e)
+	}
+	if a, e := OptimizeAlpha(make([]complex128, 5)); a != 1 || e != 0 {
+		t.Fatalf("zero targets: alpha=%v e=%v", a, e)
+	}
+}
+
+func TestOptimizeAlphaBeatsGridSearchProperty(t *testing.T) {
+	// The optimizer must be at least as good as any point of a dense
+	// grid. E(alpha) is only piecewise convex (min-of-quadratics), which
+	// is why OptimizeAlpha brackets globally before refining; this
+	// property test is what catches local-basin regressions.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		targets := randTargets(r, 60, 1+r.Float64()*5)
+		alpha, e := OptimizeAlpha(targets)
+		if alpha <= 0 {
+			return false
+		}
+		for g := 0.05; g < 12; g += 0.05 {
+			// Relative tolerance: micro-basins at the scale of QAM
+			// decision boundaries make machine-precision global
+			// optimality meaningless; "as good as any grid point to
+			// within 0.1%" is the contract.
+			if QuantizationError(targets, g) < e*(1-1e-3)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizedAlphaNeverWorseThanNaive(t *testing.T) {
+	// The paper's claim: existing designs underuse the constellation;
+	// optimizing alpha can only reduce E.
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		targets := randTargets(r, 96, 0.2+2*r.Float64())
+		_, e := OptimizeAlpha(targets)
+		if naive := QuantizationError(targets, 1); e > naive+1e-9 {
+			t.Fatalf("optimized E %v > naive E %v", e, naive)
+		}
+	}
+}
+
+func TestFrequencyShiftMovesSpectrum(t *testing.T) {
+	// A DC tone shifted by +5 bins must land on bin 5.
+	wave := make([]complex128, wifi.FFTSize)
+	for i := range wave {
+		wave[i] = 1
+	}
+	shifted := FrequencyShift(wave, 5)
+	spec, err := dsp.FFT(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range spec {
+		want := 0.0
+		if k == 5 {
+			want = float64(wifi.FFTSize)
+		}
+		if math.Abs(cmplx.Abs(spec[k])-want) > 1e-9 {
+			t.Fatalf("bin %d magnitude %v, want %v", k, cmplx.Abs(spec[k]), want)
+		}
+	}
+}
+
+func TestFrequencyShiftRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	wave := randTargets(r, 160, 1)
+	back := FrequencyShift(FrequencyShift(wave, 7), -7)
+	for i := range wave {
+		if cmplx.Abs(back[i]-wave[i]) > 1e-12 {
+			t.Fatalf("sample %d mismatch", i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(WithScramblerSeed(0)); err == nil {
+		t.Fatal("zero seed: expected error")
+	}
+	if _, err := New(WithBinOffset(25)); err == nil {
+		t.Fatal("bin offset 25: expected error")
+	}
+	if _, err := New(); err != nil {
+		t.Fatalf("defaults: %v", err)
+	}
+}
+
+func TestEmulateEmptyWaveform(t *testing.T) {
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Emulate(nil); !errors.Is(err, ErrEmptyWaveform) {
+		t.Fatalf("err = %v, want ErrEmptyWaveform", err)
+	}
+}
+
+// designedZigBee builds a reference ZigBee waveform at 20 MHz sampling.
+func designedZigBee(t testing.TB, symbols []uint8) []complex128 {
+	t.Helper()
+	m, err := zigbee.NewModulator(zigbee.DefaultSamplesPerChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := m.ModulateSymbols(symbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wave
+}
+
+func TestEmulateProducesDecodableZigBee(t *testing.T) {
+	// End-to-end check of the paper's core claim: the waveform emitted
+	// by a standard Wi-Fi transmitter chain is accepted by a ZigBee
+	// correlation receiver with few symbol errors.
+	symbols := []uint8{0, 5, 10, 15, 7, 8, 2, 13, 1, 14, 6, 9}
+	designed := designedZigBee(t, symbols)
+
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Emulate(designed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alpha <= 0 {
+		t.Fatalf("alpha = %v", res.Alpha)
+	}
+	if len(res.Wave) < len(designed) {
+		t.Fatalf("emulated wave too short: %d < %d", len(res.Wave), len(designed))
+	}
+
+	m, err := zigbee.NewModulator(zigbee.DefaultSamplesPerChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.DemodulateSymbols(res.Wave, len(symbols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range symbols {
+		if got[i] != symbols[i] {
+			errs++
+		}
+	}
+	if frac := float64(errs) / float64(len(symbols)); frac > 0.25 {
+		t.Fatalf("emulated waveform symbol error rate %.2f too high (%d/%d)", frac, errs, len(symbols))
+	}
+}
+
+func TestEmulateOptimizedBeatsNaive(t *testing.T) {
+	// Ablation: alpha optimization must yield lower quantization error
+	// and no worse EVM than the naive alpha=1 pipeline.
+	symbols := []uint8{3, 12, 6, 9, 0, 15, 5, 10}
+	designed := designedZigBee(t, symbols)
+
+	opt, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := New(WithAlphaOptimization(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOpt, err := opt.Emulate(designed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resNaive, err := naive.Emulate(designed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resNaive.Alpha != 1 {
+		t.Fatalf("naive alpha = %v, want 1", resNaive.Alpha)
+	}
+	if resOpt.QuantError > resNaive.QuantError+1e-9 {
+		t.Fatalf("optimized quant error %v > naive %v", resOpt.QuantError, resNaive.QuantError)
+	}
+	// With these O-QPSK targets the improvement should be substantial,
+	// not marginal (the naive design underuses the constellation).
+	if resOpt.QuantError > 0.9*resNaive.QuantError {
+		t.Fatalf("optimized quant error %v not clearly below naive %v", resOpt.QuantError, resNaive.QuantError)
+	}
+}
+
+func TestEmulateBitsRegenerateWave(t *testing.T) {
+	// The Result.Bits must regenerate Result.Wave through the public
+	// Wi-Fi chain (up to the alpha scale and frequency shift applied in
+	// Emulate). We verify the bit count is consistent with the symbol
+	// count.
+	designed := designedZigBee(t, []uint8{1, 2, 3, 4})
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Emulate(designed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bits) != res.Symbols*wifi.BitsPerOFDMSymbolPayload {
+		t.Fatalf("bit count %d for %d symbols", len(res.Bits), res.Symbols)
+	}
+	if len(res.Wave) != res.Symbols*wifi.SymbolLen {
+		t.Fatalf("wave length %d for %d symbols", len(res.Wave), res.Symbols)
+	}
+}
+
+func TestEmulateEVMReasonable(t *testing.T) {
+	// The emulated waveform should track the designed one well: EVM
+	// below 1 (100%) by a clear margin; typical values land near 0.3-0.6
+	// because pilots, guard bands and coding constrain the spectrum.
+	designed := designedZigBee(t, []uint8{0, 7, 14, 3, 9, 11})
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Emulate(designed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EVM >= 1.0 {
+		t.Fatalf("EVM = %v, expected < 1", res.EVM)
+	}
+}
+
+func BenchmarkOptimizeAlpha(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	targets := randTargets(r, 48*4, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OptimizeAlpha(targets)
+	}
+}
+
+func BenchmarkEmulateSymbol(b *testing.B) {
+	m, err := zigbee.NewModulator(zigbee.DefaultSamplesPerChip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wave, err := m.ModulateSymbols([]uint8{4, 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Emulate(wave); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestEmulatedSpectrumSitsOnZigBeeBand(t *testing.T) {
+	// Spectral validation: after shifting back to baseband, the emulated
+	// waveform's energy must concentrate inside the ZigBee channel
+	// (±1 MHz around DC = ±3.2 OFDM bins at 312.5 kHz spacing), just
+	// like the designed O-QPSK waveform's.
+	designed := designedZigBee(t, []uint8{0, 5, 10, 15, 7, 8, 2, 13})
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Emulate(designed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nfft = 64
+	designedPSD, err := dsp.PSD(designed, nfft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emulatedPSD, err := dsp.PSD(res.Wave, nfft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ±5 bins around DC ≈ ±1.56 MHz covers the 2 MHz ZigBee channel.
+	designedFrac, err := dsp.BandFraction(designedPSD, -5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emulatedFrac, err := dsp.BandFraction(emulatedPSD, -5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if designedFrac < 0.85 {
+		t.Fatalf("designed in-band fraction %.3f (sanity check failed)", designedFrac)
+	}
+	// The convolutional-coding constraint smears a large share of the
+	// emulated energy across the whole 20 MHz Wi-Fi band (real EmuBee
+	// signals do the same; the victim's 2 MHz channel filter removes
+	// it). The in-band share must still be well above the uniform
+	// 11/64 ≈ 0.17 — i.e. the emulation concentrates deliberately — but
+	// below the clean designed waveform's.
+	if emulatedFrac < 0.30 {
+		t.Fatalf("emulated in-band fraction %.3f barely above uniform; emulation not concentrating", emulatedFrac)
+	}
+	if emulatedFrac > designedFrac {
+		t.Fatalf("emulated in-band fraction %.3f exceeds designed %.3f; leakage model suspicious",
+			emulatedFrac, designedFrac)
+	}
+}

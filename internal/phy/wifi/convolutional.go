@@ -1,0 +1,137 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Convolutional code parameters: the industry-standard K=7 rate-1/2 code
+// with generator polynomials 133 and 171 (octal) used by 802.11.
+const (
+	// ConstraintLength is K for the 802.11 convolutional code.
+	ConstraintLength = 7
+	// numStates is the number of encoder states (2^(K-1)).
+	numStates = 1 << (ConstraintLength - 1)
+	// polyA and polyB are the generator polynomials in binary
+	// (octal 133 and 171).
+	polyA = 0o133
+	polyB = 0o171
+)
+
+// ConvEncode encodes bits with the rate-1/2 K=7 code, producing 2 output
+// bits per input bit. The encoder starts in the all-zero state. Callers who
+// want the decoder to terminate cleanly should append K-1 zero tail bits.
+func ConvEncode(in []uint8) []uint8 {
+	out := make([]uint8, 0, len(in)*2)
+	var state uint32 // holds the last K-1 input bits
+	for _, b := range in {
+		reg := (uint32(b&1) << (ConstraintLength - 1)) | state
+		a := uint8(bits.OnesCount32(reg&polyA) & 1)
+		bb := uint8(bits.OnesCount32(reg&polyB) & 1)
+		out = append(out, a, bb)
+		state = reg >> 1
+	}
+	return out
+}
+
+// AddTail returns in followed by K-1 zero bits so the trellis terminates in
+// the zero state.
+func AddTail(in []uint8) []uint8 {
+	out := make([]uint8, len(in)+ConstraintLength-1)
+	copy(out, in)
+	return out
+}
+
+// ViterbiDecode performs maximum-likelihood decoding of a rate-1/2 coded
+// bit stream using hard-decision Hamming metrics. coded must have even
+// length; the decoder assumes the encoder started in state 0 and, when
+// terminated is true, also ended in state 0 (tail bits included in coded;
+// the K-1 tail bits are stripped from the result).
+func ViterbiDecode(coded []uint8, terminated bool) ([]uint8, error) {
+	if len(coded)%2 != 0 {
+		return nil, fmt.Errorf("wifi: coded length %d is odd", len(coded))
+	}
+	nSteps := len(coded) / 2
+	if terminated && nSteps < ConstraintLength-1 {
+		return nil, fmt.Errorf("wifi: %d steps too short for terminated decoding", nSteps)
+	}
+
+	// Precompute per-state, per-input expected output pairs.
+	type branch struct {
+		next uint16
+		out0 uint8
+		out1 uint8
+	}
+	var branches [numStates][2]branch
+	for s := 0; s < numStates; s++ {
+		for in := 0; in < 2; in++ {
+			reg := (uint32(in) << (ConstraintLength - 1)) | uint32(s)
+			branches[s][in] = branch{
+				next: uint16(reg >> 1),
+				out0: uint8(bits.OnesCount32(reg&polyA) & 1),
+				out1: uint8(bits.OnesCount32(reg&polyB) & 1),
+			}
+		}
+	}
+
+	const inf = math.MaxInt32 / 2
+	metric := make([]int32, numStates)
+	next := make([]int32, numStates)
+	for s := 1; s < numStates; s++ {
+		metric[s] = inf
+	}
+	// survivors[t][s] packs the predecessor state and input bit.
+	survivors := make([][numStates]uint16, nSteps)
+
+	for t := 0; t < nSteps; t++ {
+		r0, r1 := coded[2*t]&1, coded[2*t+1]&1
+		for s := range next {
+			next[s] = inf
+		}
+		for s := 0; s < numStates; s++ {
+			if metric[s] >= inf {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				br := branches[s][in]
+				cost := metric[s]
+				if br.out0 != r0 {
+					cost++
+				}
+				if br.out1 != r1 {
+					cost++
+				}
+				if cost < next[br.next] {
+					next[br.next] = cost
+					survivors[t][br.next] = uint16(s)<<1 | uint16(in)
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	// Pick the terminal state.
+	best := 0
+	if !terminated {
+		bestM := metric[0]
+		for s := 1; s < numStates; s++ {
+			if metric[s] < bestM {
+				best, bestM = s, metric[s]
+			}
+		}
+	}
+
+	// Trace back.
+	decoded := make([]uint8, nSteps)
+	state := best
+	for t := nSteps - 1; t >= 0; t-- {
+		packed := survivors[t][state]
+		decoded[t] = uint8(packed & 1)
+		state = int(packed >> 1)
+	}
+	if terminated {
+		decoded = decoded[:nSteps-(ConstraintLength-1)]
+	}
+	return decoded, nil
+}

@@ -1,0 +1,59 @@
+package wifi
+
+import "fmt"
+
+// Interleaver parameters for 64-QAM (802.11-2016 §17.3.5.7): 48 data
+// subcarriers x 6 coded bits per subcarrier per OFDM symbol.
+const (
+	// BitsPerSubcarrier is N_BPSC for 64-QAM.
+	BitsPerSubcarrier = 6
+	// DataSubcarriers is the number of data subcarriers per OFDM symbol.
+	DataSubcarriers = 48
+	// CodedBitsPerSymbol is N_CBPS for 64-QAM (288).
+	CodedBitsPerSymbol = DataSubcarriers * BitsPerSubcarrier
+)
+
+// interleaveMap[k] gives the output index of input bit k within one OFDM
+// symbol, composing the two 802.11 permutations.
+var interleaveMap = buildInterleaveMap()
+
+func buildInterleaveMap() [CodedBitsPerSymbol]int {
+	var m [CodedBitsPerSymbol]int
+	const n = CodedBitsPerSymbol
+	s := BitsPerSubcarrier / 2 // s = max(N_BPSC/2, 1) = 3
+	for k := 0; k < n; k++ {
+		// First permutation: adjacent coded bits land on
+		// non-adjacent subcarriers.
+		i := (n/16)*(k%16) + k/16
+		// Second permutation: adjacent bits alternate between more
+		// and less significant constellation bits.
+		j := s*(i/s) + (i+n-16*i/n)%s
+		m[k] = j
+	}
+	return m
+}
+
+// Interleave permutes one OFDM symbol's worth of coded bits (288 for
+// 64-QAM).
+func Interleave(bits []uint8) ([]uint8, error) {
+	if len(bits) != CodedBitsPerSymbol {
+		return nil, fmt.Errorf("wifi: interleave needs %d bits, got %d", CodedBitsPerSymbol, len(bits))
+	}
+	out := make([]uint8, CodedBitsPerSymbol)
+	for k, b := range bits {
+		out[interleaveMap[k]] = b
+	}
+	return out, nil
+}
+
+// Deinterleave inverts Interleave.
+func Deinterleave(bits []uint8) ([]uint8, error) {
+	if len(bits) != CodedBitsPerSymbol {
+		return nil, fmt.Errorf("wifi: deinterleave needs %d bits, got %d", CodedBitsPerSymbol, len(bits))
+	}
+	out := make([]uint8, CodedBitsPerSymbol)
+	for k := range bits {
+		out[k] = bits[interleaveMap[k]]
+	}
+	return out, nil
+}

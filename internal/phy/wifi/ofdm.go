@@ -1,0 +1,223 @@
+package wifi
+
+import (
+	"fmt"
+
+	"ctjam/internal/dsp"
+)
+
+// OFDM numerology for 20 MHz 802.11a/g.
+const (
+	// FFTSize is the OFDM FFT length.
+	FFTSize = 64
+	// CPLen is the cyclic prefix length in samples (0.8 us at 20 MHz).
+	CPLen = 16
+	// SymbolLen is the total OFDM symbol length in samples (4 us).
+	SymbolLen = FFTSize + CPLen
+	// SampleRateHz is the complex baseband sample rate.
+	SampleRateHz = 20_000_000
+	// ChannelBandwidthHz is the nominal Wi-Fi channel bandwidth.
+	ChannelBandwidthHz = 20_000_000
+)
+
+// dataCarriers lists the logical subcarrier indices (-26..26, excluding 0
+// and the pilots ±7, ±21) that carry data, in spectral order.
+var dataCarriers = buildDataCarriers()
+
+// pilotCarriers are the four pilot subcarrier indices.
+var pilotCarriers = [4]int{-21, -7, 7, 21}
+
+// pilotValues are the (polarity-1) BPSK pilot values.
+var pilotValues = [4]complex128{1, 1, 1, -1}
+
+func buildDataCarriers() [DataSubcarriers]int {
+	var out [DataSubcarriers]int
+	i := 0
+	for k := -26; k <= 26; k++ {
+		switch k {
+		case 0, -21, -7, 7, 21:
+			continue
+		}
+		out[i] = k
+		i++
+	}
+	return out
+}
+
+// DataCarrierIndices returns a copy of the logical data subcarrier indices
+// in spectral order (-26..26).
+func DataCarrierIndices() []int {
+	out := make([]int, DataSubcarriers)
+	copy(out, dataCarriers[:])
+	return out
+}
+
+// carrierBin converts a logical subcarrier index (-26..26) into an FFT bin
+// (0..63).
+func carrierBin(k int) int {
+	if k >= 0 {
+		return k
+	}
+	return FFTSize + k
+}
+
+// AssembleSymbol builds one time-domain OFDM symbol (80 samples with cyclic
+// prefix) from 48 data-subcarrier values, inserting the standard pilots.
+func AssembleSymbol(data []complex128) ([]complex128, error) {
+	if len(data) != DataSubcarriers {
+		return nil, fmt.Errorf("wifi: symbol needs %d data carriers, got %d", DataSubcarriers, len(data))
+	}
+	freq := make([]complex128, FFTSize)
+	for i, k := range dataCarriers {
+		freq[carrierBin(k)] = data[i]
+	}
+	for i, k := range pilotCarriers {
+		freq[carrierBin(k)] = pilotValues[i]
+	}
+	body, err := dsp.IFFT(freq)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, 0, SymbolLen)
+	out = append(out, body[FFTSize-CPLen:]...)
+	out = append(out, body...)
+	return out, nil
+}
+
+// DisassembleSymbol strips the cyclic prefix of one 80-sample OFDM symbol,
+// applies the FFT and returns the 48 data-subcarrier values.
+func DisassembleSymbol(symbol []complex128) ([]complex128, error) {
+	if len(symbol) != SymbolLen {
+		return nil, fmt.Errorf("wifi: symbol needs %d samples, got %d", SymbolLen, len(symbol))
+	}
+	freq, err := dsp.FFT(symbol[CPLen:])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, DataSubcarriers)
+	for i, k := range dataCarriers {
+		out[i] = freq[carrierBin(k)]
+	}
+	return out, nil
+}
+
+// SpectrumOfWindow computes the frequency-domain view of an arbitrary
+// 64-sample window, returning the 48 data-carrier values. The emulation
+// pipeline uses this to project a designed (ZigBee) waveform segment onto
+// the Wi-Fi subcarrier grid.
+func SpectrumOfWindow(window []complex128) ([]complex128, error) {
+	if len(window) != FFTSize {
+		return nil, fmt.Errorf("wifi: window needs %d samples, got %d", FFTSize, len(window))
+	}
+	freq, err := dsp.FFT(window)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, DataSubcarriers)
+	for i, k := range dataCarriers {
+		out[i] = freq[carrierBin(k)]
+	}
+	return out, nil
+}
+
+// Transmitter runs the full 802.11 64-QAM TX chain: scramble, convolutional
+// encode (with trellis tail), interleave and map per OFDM symbol, assemble
+// time-domain symbols.
+type Transmitter struct {
+	seed uint8
+}
+
+// NewTransmitter returns a Transmitter with the given scrambler seed
+// (nonzero 7-bit value).
+func NewTransmitter(seed uint8) (*Transmitter, error) {
+	if seed&0x7F == 0 {
+		return nil, fmt.Errorf("wifi: scrambler seed must be nonzero")
+	}
+	return &Transmitter{seed: seed}, nil
+}
+
+// BitsPerOFDMSymbolPayload is the number of information bits carried per
+// OFDM symbol at rate-1/2 64-QAM (N_DBPS = 144).
+const BitsPerOFDMSymbolPayload = CodedBitsPerSymbol / 2
+
+// Transmit encodes payload bits into a complex baseband waveform. The
+// payload is padded with zeros (after the trellis tail) to a whole number of
+// OFDM symbols. It returns the waveform and the number of OFDM symbols.
+func (tx *Transmitter) Transmit(payload []uint8) ([]complex128, int, error) {
+	tailed := AddTail(payload)
+	// Pad so that the coded length is a multiple of N_CBPS.
+	nSym := (len(tailed)*2 + CodedBitsPerSymbol - 1) / CodedBitsPerSymbol
+	padded := make([]uint8, nSym*BitsPerOFDMSymbolPayload)
+	copy(padded, tailed)
+	scrambled, err := Scramble(padded, tx.seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	coded := ConvEncode(scrambled)
+	wave := make([]complex128, 0, nSym*SymbolLen)
+	for s := 0; s < nSym; s++ {
+		chunk := coded[s*CodedBitsPerSymbol : (s+1)*CodedBitsPerSymbol]
+		inter, err := Interleave(chunk)
+		if err != nil {
+			return nil, 0, err
+		}
+		pts, err := MapQAM64(inter)
+		if err != nil {
+			return nil, 0, err
+		}
+		sym, err := AssembleSymbol(pts)
+		if err != nil {
+			return nil, 0, err
+		}
+		wave = append(wave, sym...)
+	}
+	return wave, nSym, nil
+}
+
+// Receiver inverts the Transmitter chain with hard decisions and Viterbi
+// decoding.
+type Receiver struct {
+	seed uint8
+}
+
+// NewReceiver returns a Receiver using the given scrambler seed.
+func NewReceiver(seed uint8) (*Receiver, error) {
+	if seed&0x7F == 0 {
+		return nil, fmt.Errorf("wifi: scrambler seed must be nonzero")
+	}
+	return &Receiver{seed: seed}, nil
+}
+
+// Receive demodulates a waveform of nSym OFDM symbols and returns nBits
+// decoded payload bits (nBits must not exceed the symbol capacity minus the
+// trellis tail).
+func (rx *Receiver) Receive(wave []complex128, nSym, nBits int) ([]uint8, error) {
+	if len(wave) < nSym*SymbolLen {
+		return nil, fmt.Errorf("wifi: waveform %d samples < %d symbols", len(wave), nSym)
+	}
+	capacity := nSym*BitsPerOFDMSymbolPayload - (ConstraintLength - 1)
+	if nBits > capacity {
+		return nil, fmt.Errorf("wifi: %d bits exceed capacity %d", nBits, capacity)
+	}
+	coded := make([]uint8, 0, nSym*CodedBitsPerSymbol)
+	for s := 0; s < nSym; s++ {
+		pts, err := DisassembleSymbol(wave[s*SymbolLen : (s+1)*SymbolLen])
+		if err != nil {
+			return nil, err
+		}
+		deinter, err := Deinterleave(DemapQAM64(pts))
+		if err != nil {
+			return nil, err
+		}
+		coded = append(coded, deinter...)
+	}
+	decoded, err := ViterbiDecode(coded, false)
+	if err != nil {
+		return nil, err
+	}
+	descrambled, err := Descramble(decoded, rx.seed)
+	if err != nil {
+		return nil, err
+	}
+	return descrambled[:nBits], nil
+}

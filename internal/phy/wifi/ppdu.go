@@ -1,0 +1,266 @@
+package wifi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ctjam/internal/dsp"
+)
+
+// This file implements 802.11a/g PPDU framing: the legacy short and long
+// training fields (L-STF, L-LTF), the BPSK rate-1/2 SIGNAL field, and
+// preamble-based packet detection. The cross-technology jammer transmits
+// standard PPDUs, so the frame layout determines its on-air behaviour (and
+// what a Wi-Fi monitor would see).
+
+// Preamble lengths in samples at 20 MHz.
+const (
+	// STFLen is the short training field duration (8 us).
+	STFLen = 160
+	// LTFLen is the long training field duration (8 us).
+	LTFLen = 160
+	// SignalLen is the SIGNAL field: one OFDM symbol.
+	SignalLen = SymbolLen
+	// PreambleLen is the full legacy preamble (STF+LTF).
+	PreambleLen = STFLen + LTFLen
+	// stfPeriod is the STF's time-domain periodicity in samples.
+	stfPeriod = 16
+)
+
+// stfCarriers maps subcarrier index -> scaled (1+j)/(−1−j) occupancy for
+// the L-STF (802.11-2016 Eq. 19-8): every 4th subcarrier is active.
+var stfCarriers = map[int]complex128{
+	-24: complex(1, 1), -20: complex(-1, -1), -16: complex(1, 1),
+	-12: complex(-1, -1), -8: complex(-1, -1), -4: complex(1, 1),
+	4: complex(-1, -1), 8: complex(-1, -1), 12: complex(1, 1),
+	16: complex(1, 1), 20: complex(1, 1), 24: complex(1, 1),
+}
+
+// ltfSequence is the L-LTF BPSK sequence on subcarriers -26..26
+// (802.11-2016 Eq. 19-11), index 0 of the array = subcarrier -26.
+var ltfSequence = [53]float64{
+	1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
+	0,
+	1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
+}
+
+// STF generates the 160-sample legacy short training field.
+func STF() ([]complex128, error) {
+	freq := make([]complex128, FFTSize)
+	scale := complex(math.Sqrt(13.0/6.0), 0)
+	for k, v := range stfCarriers {
+		freq[carrierBin(k)] = scale * v
+	}
+	period, err := dsp.IFFT(freq)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, STFLen)
+	for i := range out {
+		out[i] = period[i%FFTSize]
+	}
+	return out, nil
+}
+
+// LTF generates the 160-sample legacy long training field: a 32-sample
+// cyclic prefix followed by two repetitions of the 64-sample long training
+// symbol.
+func LTF() ([]complex128, error) {
+	freq := make([]complex128, FFTSize)
+	for i, v := range ltfSequence {
+		k := i - 26
+		if v != 0 {
+			freq[carrierBin(k)] = complex(v, 0)
+		}
+	}
+	sym, err := dsp.IFFT(freq)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, 0, LTFLen)
+	out = append(out, sym[FFTSize-32:]...)
+	out = append(out, sym...)
+	out = append(out, sym...)
+	return out, nil
+}
+
+// Signal field errors.
+var (
+	ErrBadSignalLength = errors.New("wifi: SIGNAL length out of range")
+	ErrSignalParity    = errors.New("wifi: SIGNAL parity check failed")
+)
+
+// rate54Bits is the RATE field pattern for 54 Mb/s (R1-R4 = 0011,
+// transmitted R1 first). The reproduction's data section uses rate-1/2
+// coding at 64-QAM for robustness; the RATE field is cosmetic here.
+var rate54Bits = [4]uint8{0, 0, 1, 1}
+
+// legalRates are the eight 802.11a/g RATE patterns (Table 17-6).
+var legalRates = [8][4]uint8{
+	{1, 1, 0, 1}, // 6 Mb/s
+	{1, 1, 1, 1}, // 9
+	{0, 1, 0, 1}, // 12
+	{0, 1, 1, 1}, // 18
+	{1, 0, 0, 1}, // 24
+	{1, 0, 1, 1}, // 36
+	{0, 0, 0, 1}, // 48
+	{0, 0, 1, 1}, // 54
+}
+
+func validRate(r [4]uint8) bool {
+	for _, legal := range legalRates {
+		if r == legal {
+			return true
+		}
+	}
+	return false
+}
+
+// EncodeSignal builds the 24-bit SIGNAL field (RATE, reserved, LENGTH,
+// parity, tail), convolutionally encodes it to 48 bits and maps it as one
+// BPSK OFDM symbol. lengthBytes is the PSDU length (1..4095).
+func EncodeSignal(lengthBytes int) ([]complex128, error) {
+	if lengthBytes < 1 || lengthBytes > 4095 {
+		return nil, fmt.Errorf("%w: %d", ErrBadSignalLength, lengthBytes)
+	}
+	bits := make([]uint8, 24)
+	copy(bits[0:4], rate54Bits[:])
+	// bits[4] reserved = 0.
+	for i := 0; i < 12; i++ { // LENGTH, LSB first
+		bits[5+i] = uint8(lengthBytes>>i) & 1
+	}
+	var parity uint8
+	for _, b := range bits[:17] {
+		parity ^= b
+	}
+	bits[17] = parity
+	// bits[18:24] tail = 0.
+	coded := ConvEncode(bits)
+	// BPSK interleaving for one symbol (N_CBPS=48, s=1).
+	inter := make([]uint8, 48)
+	for k, b := range coded {
+		i := (48/16)*(k%16) + k/16
+		inter[i] = b
+	}
+	pts := make([]complex128, DataSubcarriers)
+	for i, b := range inter {
+		v := -1.0
+		if b == 1 {
+			v = 1.0
+		}
+		pts[i] = complex(v, 0)
+	}
+	return AssembleSymbol(pts)
+}
+
+// DecodeSignal inverts EncodeSignal, returning the PSDU length. It verifies
+// the parity bit.
+func DecodeSignal(symbol []complex128) (lengthBytes int, err error) {
+	pts, err := DisassembleSymbol(symbol)
+	if err != nil {
+		return 0, err
+	}
+	inter := make([]uint8, 48)
+	for i, p := range pts {
+		if real(p) > 0 {
+			inter[i] = 1
+		}
+	}
+	coded := make([]uint8, 48)
+	for k := range coded {
+		i := (48/16)*(k%16) + k/16
+		coded[k] = inter[i]
+	}
+	bits, err := ViterbiDecode(coded, true)
+	if err != nil {
+		return 0, err
+	}
+	var parity uint8
+	for _, b := range bits[:17] {
+		parity ^= b
+	}
+	if parity != bits[17] {
+		return 0, ErrSignalParity
+	}
+	// The RATE field must be one of the eight legal patterns and the
+	// reserved bit zero — the receiver-side sanity checks that reject
+	// most non-SIGNAL symbols.
+	if !validRate([4]uint8{bits[0], bits[1], bits[2], bits[3]}) {
+		return 0, fmt.Errorf("%w: illegal RATE pattern", ErrBadSignalLength)
+	}
+	if bits[4] != 0 {
+		return 0, fmt.Errorf("%w: reserved bit set", ErrBadSignalLength)
+	}
+	length := 0
+	for i := 0; i < 12; i++ {
+		length |= int(bits[5+i]) << i
+	}
+	if length < 1 || length > 4095 {
+		return 0, fmt.Errorf("%w: decoded %d", ErrBadSignalLength, length)
+	}
+	return length, nil
+}
+
+// BuildPPDU assembles a complete PPDU: L-STF, L-LTF, SIGNAL (carrying
+// lengthBytes) and the data waveform produced by the Transmitter.
+func (tx *Transmitter) BuildPPDU(payload []uint8) ([]complex128, error) {
+	stf, err := STF()
+	if err != nil {
+		return nil, err
+	}
+	ltf, err := LTF()
+	if err != nil {
+		return nil, err
+	}
+	lengthBytes := (len(payload) + 7) / 8
+	if lengthBytes == 0 {
+		lengthBytes = 1
+	}
+	sig, err := EncodeSignal(lengthBytes)
+	if err != nil {
+		return nil, err
+	}
+	data, _, err := tx.Transmit(payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, 0, len(stf)+len(ltf)+len(sig)+len(data))
+	out = append(out, stf...)
+	out = append(out, ltf...)
+	out = append(out, sig...)
+	out = append(out, data...)
+	return out, nil
+}
+
+// DetectSTF scans a waveform for the short training field's 16-sample
+// periodicity using a normalized autocorrelation metric, returning the
+// estimated packet start and the peak metric in [0, 1]. A metric below
+// ~0.7 means no preamble is present.
+func DetectSTF(wave []complex128) (start int, metric float64) {
+	const window = STFLen - stfPeriod
+	if len(wave) < STFLen {
+		return 0, 0
+	}
+	bestStart, bestMetric := 0, 0.0
+	for off := 0; off+STFLen <= len(wave); off++ {
+		var corr complex128
+		var energy float64
+		for i := 0; i < window; i++ {
+			a := wave[off+i]
+			b := wave[off+i+stfPeriod]
+			corr += a * cmplx.Conj(b)
+			energy += real(a)*real(a) + imag(a)*imag(a)
+		}
+		if energy == 0 {
+			continue
+		}
+		m := cmplx.Abs(corr) / energy
+		if m > bestMetric {
+			bestMetric = m
+			bestStart = off
+		}
+	}
+	return bestStart, bestMetric
+}

@@ -1,0 +1,143 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// QAM64Norm is the 64-QAM normalization factor 1/sqrt(42) that gives the
+// constellation unit average energy (802.11-2016 Table 17-10).
+var QAM64Norm = 1 / math.Sqrt(42)
+
+// qamLevel maps 3 Gray-coded bits (b0 b1 b2, b0 first) to the un-normalized
+// amplitude level per 802.11-2016 Table 17-9.
+var qamLevel = [8]float64{
+	0b000: -7,
+	0b001: -5,
+	0b011: -3,
+	0b010: -1,
+	0b110: 1,
+	0b111: 3,
+	0b101: 5,
+	0b100: 7,
+}
+
+// qamBits inverts qamLevel: index (level+7)/2 -> 3 bits.
+var qamBits = buildQAMBits()
+
+func buildQAMBits() [8]uint8 {
+	var out [8]uint8
+	for b, lv := range qamLevel {
+		out[int(lv+7)/2] = uint8(b)
+	}
+	return out
+}
+
+// QAM64Points returns the 64 normalized constellation points indexed by the
+// 6-bit symbol value (b0..b5, b0 most significant; b0b1b2 select I, b3b4b5
+// select Q).
+func QAM64Points() []complex128 {
+	pts := make([]complex128, 64)
+	for v := 0; v < 64; v++ {
+		i := qamLevel[v>>3]
+		q := qamLevel[v&7]
+		pts[v] = complex(i*QAM64Norm, q*QAM64Norm)
+	}
+	return pts
+}
+
+// MapQAM64 maps coded bits (length a multiple of 6) to normalized 64-QAM
+// constellation points, 6 bits per point, first three bits -> I, last
+// three -> Q.
+func MapQAM64(bits []uint8) ([]complex128, error) {
+	if len(bits)%BitsPerSubcarrier != 0 {
+		return nil, fmt.Errorf("wifi: qam64 needs a multiple of 6 bits, got %d", len(bits))
+	}
+	out := make([]complex128, len(bits)/BitsPerSubcarrier)
+	for i := range out {
+		b := bits[i*6 : i*6+6]
+		iBits := int(b[0])<<2 | int(b[1])<<1 | int(b[2])
+		qBits := int(b[3])<<2 | int(b[4])<<1 | int(b[5])
+		out[i] = complex(qamLevel[iBits]*QAM64Norm, qamLevel[qBits]*QAM64Norm)
+	}
+	return out, nil
+}
+
+// DemapQAM64 performs hard-decision demapping of constellation points back
+// to bits (6 per point) by nearest level on each axis.
+func DemapQAM64(points []complex128) []uint8 {
+	out := make([]uint8, 0, len(points)*BitsPerSubcarrier)
+	for _, p := range points {
+		iB := nearestLevelBits(real(p) / QAM64Norm)
+		qB := nearestLevelBits(imag(p) / QAM64Norm)
+		out = append(out,
+			iB>>2&1, iB>>1&1, iB&1,
+			qB>>2&1, qB>>1&1, qB&1)
+	}
+	return out
+}
+
+// NearestQAM64 returns the normalized constellation point closest to p and
+// its squared Euclidean distance from p.
+func NearestQAM64(p complex128) (complex128, float64) {
+	i := nearestLevel(real(p) / QAM64Norm)
+	q := nearestLevel(imag(p) / QAM64Norm)
+	pt := complex(i*QAM64Norm, q*QAM64Norm)
+	d := p - pt
+	return pt, real(d)*real(d) + imag(d)*imag(d)
+}
+
+// nearestLevel snaps x to the closest level in {-7,-5,-3,-1,1,3,5,7}.
+func nearestLevel(x float64) float64 {
+	idx := int(math.Round((x + 7) / 2))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > 7 {
+		idx = 7
+	}
+	return float64(2*idx - 7)
+}
+
+// nearestLevelBits returns the Gray bits of the level closest to x.
+func nearestLevelBits(x float64) uint8 {
+	idx := int(math.Round((x + 7) / 2))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > 7 {
+		idx = 7
+	}
+	return qamBits[idx]
+}
+
+// ConstellationEVM returns the RMS distance of points from their nearest
+// constellation point, normalized by the constellation RMS amplitude (1 for
+// the normalized 64-QAM grid).
+func ConstellationEVM(points []complex128) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	var e float64
+	for _, p := range points {
+		_, d := NearestQAM64(p)
+		e += d
+	}
+	return math.Sqrt(e / float64(len(points)))
+}
+
+// MinQAMDistance returns the minimum distance between distinct normalized
+// 64-QAM points (2/sqrt(42)).
+func MinQAMDistance() float64 {
+	pts := QAM64Points()
+	minD := math.Inf(1)
+	for a := 0; a < len(pts); a++ {
+		for b := a + 1; b < len(pts); b++ {
+			if d := cmplx.Abs(pts[a] - pts[b]); d < minD {
+				minD = d
+			}
+		}
+	}
+	return minD
+}

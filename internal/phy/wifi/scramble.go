@@ -1,0 +1,41 @@
+// Package wifi implements the transmit and receive baseband chain of the
+// IEEE 802.11a/g OFDM physical layer at the 64-QAM rate used by the paper's
+// cross-technology jammer: scrambling (x^7+x^4+1), rate-1/2 K=7
+// convolutional coding with Viterbi decoding, the per-symbol block
+// interleaver, Gray-mapped 64-QAM, and 64-point OFDM symbol assembly with
+// cyclic prefix (48 data + 4 pilot subcarriers, 20 MHz sampling).
+//
+// The package works on bit slices ([]uint8 with values 0/1) and complex
+// baseband samples, the same representations used by the zigbee package, so
+// the emulate package can connect the two.
+package wifi
+
+import "fmt"
+
+// DefaultScramblerSeed is the 7-bit initial scrambler state. Any nonzero
+// value is legal; 802.11 transmitters pick a pseudo-random nonzero seed.
+const DefaultScramblerSeed = 0x5D
+
+// Scramble applies the 802.11 frame-synchronous scrambler with generator
+// x^7 + x^4 + 1 to bits, returning a new slice. seed is the 7-bit initial
+// state and must be nonzero. Scrambling is an involution: applying it twice
+// with the same seed restores the input.
+func Scramble(bits []uint8, seed uint8) ([]uint8, error) {
+	if seed&0x7F == 0 {
+		return nil, fmt.Errorf("wifi: scrambler seed must be nonzero (got %#x)", seed)
+	}
+	state := seed & 0x7F
+	out := make([]uint8, len(bits))
+	for i, b := range bits {
+		// Feedback bit = x7 XOR x4 (bits 6 and 3 of the state).
+		fb := ((state >> 6) ^ (state >> 3)) & 1
+		state = (state<<1 | fb) & 0x7F
+		out[i] = (b & 1) ^ fb
+	}
+	return out, nil
+}
+
+// Descramble reverses Scramble when given the same seed.
+func Descramble(bits []uint8, seed uint8) ([]uint8, error) {
+	return Scramble(bits, seed)
+}

@@ -1,0 +1,190 @@
+// Package zigbee implements the IEEE 802.15.4 2.4 GHz physical layer used by
+// ZigBee devices: the 16-ary direct-sequence spread spectrum (DSSS) symbol to
+// chip mapping, O-QPSK modulation with half-sine pulse shaping, a coherent
+// correlation demodulator, and the frame format from Fig. 3 of the paper
+// (preamble, start-of-frame delimiter 0x7A, PHY header, PSDU with FCS).
+//
+// The 2.4 GHz PHY sends 250 kb/s as 62.5 ksymbol/s; each 4-bit symbol is
+// spread to a 32-chip pseudo-noise sequence at 2 Mchip/s.
+package zigbee
+
+import "fmt"
+
+const (
+	// ChipsPerSymbol is the DSSS spreading factor of the 2.4 GHz PHY.
+	ChipsPerSymbol = 32
+	// SymbolCount is the number of data symbols (4 bits each).
+	SymbolCount = 16
+	// ChipRateHz is the 2.4 GHz PHY chip rate.
+	ChipRateHz = 2_000_000
+	// SymbolRateHz is the symbol rate (62.5 ksymbol/s).
+	SymbolRateHz = ChipRateHz / ChipsPerSymbol
+	// BitRateHz is the payload bit rate (250 kb/s).
+	BitRateHz = 250_000
+	// NumChannels is the number of 802.15.4 channels on the 2.4 GHz band
+	// (channels 11-26).
+	NumChannels = 16
+)
+
+// baseChips is the chip sequence of symbol 0 from IEEE 802.15.4-2020
+// Table 10-14, chips c0..c31 left to right. Symbols 1-7 are right cyclic
+// shifts by 4 chips per step; symbols 8-15 are the same sequences with every
+// odd-indexed chip inverted.
+const baseChips = "11011001110000110101001000101110"
+
+// chipTable holds the 16 spreading sequences; chipTable[s][c] is chip c of
+// symbol s as 0 or 1.
+var chipTable = buildChipTable()
+
+func buildChipTable() [SymbolCount][ChipsPerSymbol]uint8 {
+	var table [SymbolCount][ChipsPerSymbol]uint8
+	var base [ChipsPerSymbol]uint8
+	for i := 0; i < ChipsPerSymbol; i++ {
+		if baseChips[i] == '1' {
+			base[i] = 1
+		}
+	}
+	for s := 0; s < 8; s++ {
+		shift := 4 * s
+		for c := 0; c < ChipsPerSymbol; c++ {
+			table[s][c] = base[(c-shift+ChipsPerSymbol)%ChipsPerSymbol]
+		}
+	}
+	for s := 8; s < 16; s++ {
+		for c := 0; c < ChipsPerSymbol; c++ {
+			v := table[s-8][c]
+			if c%2 == 1 {
+				v ^= 1
+			}
+			table[s][c] = v
+		}
+	}
+	return table
+}
+
+// Chips returns a copy of the 32-chip spreading sequence for symbol s
+// (0..15).
+func Chips(s int) ([]uint8, error) {
+	if s < 0 || s >= SymbolCount {
+		return nil, fmt.Errorf("zigbee: symbol %d out of range [0,15]", s)
+	}
+	out := make([]uint8, ChipsPerSymbol)
+	copy(out, chipTable[s][:])
+	return out, nil
+}
+
+// Spread maps a symbol stream (values 0..15) to its chip stream.
+func Spread(symbols []uint8) ([]uint8, error) {
+	out := make([]uint8, 0, len(symbols)*ChipsPerSymbol)
+	for i, s := range symbols {
+		if s >= SymbolCount {
+			return nil, fmt.Errorf("zigbee: symbol %d at index %d out of range", s, i)
+		}
+		out = append(out, chipTable[s][:]...)
+	}
+	return out, nil
+}
+
+// HammingToSymbol returns the Hamming distance between the 32 chips and the
+// spreading sequence of symbol s.
+func HammingToSymbol(chips []uint8, s int) (int, error) {
+	if len(chips) != ChipsPerSymbol {
+		return 0, fmt.Errorf("zigbee: got %d chips, want %d", len(chips), ChipsPerSymbol)
+	}
+	if s < 0 || s >= SymbolCount {
+		return 0, fmt.Errorf("zigbee: symbol %d out of range", s)
+	}
+	d := 0
+	for c := 0; c < ChipsPerSymbol; c++ {
+		if (chips[c] & 1) != chipTable[s][c] {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// NearestSymbol despreads one 32-chip block to the symbol whose spreading
+// sequence has minimum Hamming distance, returning the symbol and the
+// distance. Ties resolve to the lowest symbol index.
+func NearestSymbol(chips []uint8) (symbol, distance int, err error) {
+	if len(chips) != ChipsPerSymbol {
+		return 0, 0, fmt.Errorf("zigbee: got %d chips, want %d", len(chips), ChipsPerSymbol)
+	}
+	best, bestD := 0, ChipsPerSymbol+1
+	for s := 0; s < SymbolCount; s++ {
+		d := 0
+		for c := 0; c < ChipsPerSymbol; c++ {
+			if (chips[c] & 1) != chipTable[s][c] {
+				d++
+			}
+		}
+		if d < bestD {
+			best, bestD = s, d
+		}
+	}
+	return best, bestD, nil
+}
+
+// Despread converts a chip stream (length multiple of 32) back to symbols by
+// minimum-distance despreading.
+func Despread(chips []uint8) ([]uint8, error) {
+	if len(chips)%ChipsPerSymbol != 0 {
+		return nil, fmt.Errorf("zigbee: chip stream length %d not a multiple of %d", len(chips), ChipsPerSymbol)
+	}
+	out := make([]uint8, 0, len(chips)/ChipsPerSymbol)
+	for i := 0; i < len(chips); i += ChipsPerSymbol {
+		s, _, err := NearestSymbol(chips[i : i+ChipsPerSymbol])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, uint8(s))
+	}
+	return out, nil
+}
+
+// MinInterSymbolDistance returns the minimum pairwise Hamming distance among
+// the 16 spreading sequences. It quantifies the DSSS error-correcting margin.
+func MinInterSymbolDistance() int {
+	minD := ChipsPerSymbol
+	for a := 0; a < SymbolCount; a++ {
+		for b := a + 1; b < SymbolCount; b++ {
+			d := 0
+			for c := 0; c < ChipsPerSymbol; c++ {
+				if chipTable[a][c] != chipTable[b][c] {
+					d++
+				}
+			}
+			if d < minD {
+				minD = d
+			}
+		}
+	}
+	return minD
+}
+
+// BytesToSymbols expands bytes to 4-bit symbols, low nibble first, per
+// IEEE 802.15.4 bit ordering.
+func BytesToSymbols(data []byte) []uint8 {
+	out := make([]uint8, 0, len(data)*2)
+	for _, b := range data {
+		out = append(out, b&0x0F, b>>4)
+	}
+	return out
+}
+
+// SymbolsToBytes packs 4-bit symbols (low nibble first) back into bytes. The
+// symbol count must be even and every symbol < 16.
+func SymbolsToBytes(symbols []uint8) ([]byte, error) {
+	if len(symbols)%2 != 0 {
+		return nil, fmt.Errorf("zigbee: odd symbol count %d", len(symbols))
+	}
+	out := make([]byte, 0, len(symbols)/2)
+	for i := 0; i < len(symbols); i += 2 {
+		lo, hi := symbols[i], symbols[i+1]
+		if lo >= 16 || hi >= 16 {
+			return nil, fmt.Errorf("zigbee: symbol out of range at %d", i)
+		}
+		out = append(out, lo|hi<<4)
+	}
+	return out, nil
+}

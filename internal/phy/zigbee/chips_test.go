@@ -1,0 +1,195 @@
+package zigbee
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// wantChips is the literal IEEE 802.15.4-2020 Table 10-14 symbol-to-chip
+// mapping, used to verify the generated table.
+var wantChips = [SymbolCount]string{
+	"11011001110000110101001000101110",
+	"11101101100111000011010100100010",
+	"00101110110110011100001101010010",
+	"00100010111011011001110000110101",
+	"01010010001011101101100111000011",
+	"00110101001000101110110110011100",
+	"11000011010100100010111011011001",
+	"10011100001101010010001011101101",
+	"10001100100101100000011101111011",
+	"10111000110010010110000001110111",
+	"01111011100011001001011000000111",
+	"01110111101110001100100101100000",
+	"00000111011110111000110010010110",
+	"01100000011101111011100011001001",
+	"10010110000001110111101110001100",
+	"11001001011000000111011110111000",
+}
+
+func TestChipTableMatchesStandard(t *testing.T) {
+	for s := 0; s < SymbolCount; s++ {
+		chips, err := Chips(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < ChipsPerSymbol; c++ {
+			want := uint8(0)
+			if wantChips[s][c] == '1' {
+				want = 1
+			}
+			if chips[c] != want {
+				t.Fatalf("symbol %d chip %d = %d, want %d", s, c, chips[c], want)
+			}
+		}
+	}
+}
+
+func TestChipsRejectsOutOfRange(t *testing.T) {
+	if _, err := Chips(-1); err == nil {
+		t.Error("Chips(-1): expected error")
+	}
+	if _, err := Chips(16); err == nil {
+		t.Error("Chips(16): expected error")
+	}
+}
+
+func TestSpreadDespreadRoundTrip(t *testing.T) {
+	symbols := []uint8{0, 1, 7, 8, 15, 3}
+	chips, err := Spread(symbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chips) != len(symbols)*ChipsPerSymbol {
+		t.Fatalf("chip count = %d", len(chips))
+	}
+	back, err := Despread(chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range symbols {
+		if back[i] != symbols[i] {
+			t.Fatalf("symbol %d: got %d want %d", i, back[i], symbols[i])
+		}
+	}
+}
+
+func TestSpreadRejectsBadSymbol(t *testing.T) {
+	if _, err := Spread([]uint8{0, 16}); err == nil {
+		t.Fatal("Spread with symbol 16: expected error")
+	}
+}
+
+func TestDespreadRejectsBadLength(t *testing.T) {
+	if _, err := Despread(make([]uint8, 33)); err == nil {
+		t.Fatal("Despread(33 chips): expected error")
+	}
+}
+
+func TestMinInterSymbolDistance(t *testing.T) {
+	// The 802.15.4 sequence family has a minimum pairwise Hamming
+	// distance of 12, the margin that gives DSSS its noise robustness.
+	if got := MinInterSymbolDistance(); got != 12 {
+		t.Fatalf("MinInterSymbolDistance = %d, want 12", got)
+	}
+}
+
+func TestDespreadToleratesChipErrorsProperty(t *testing.T) {
+	// With fewer than MinInterSymbolDistance/2 chip errors, despreading
+	// must still recover the symbol.
+	f := func(seed int64, symSel, nErr uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := int(symSel % SymbolCount)
+		errs := int(nErr % 6) // 0..5 < 12/2
+		chips, err := Chips(s)
+		if err != nil {
+			return false
+		}
+		flipped := r.Perm(ChipsPerSymbol)[:errs]
+		for _, c := range flipped {
+			chips[c] ^= 1
+		}
+		got, _, err := NearestSymbol(chips)
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingToSymbol(t *testing.T) {
+	chips, err := Chips(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := HammingToSymbol(chips, 5); err != nil || d != 0 {
+		t.Fatalf("self distance = %d, %v", d, err)
+	}
+	chips[0] ^= 1
+	if d, _ := HammingToSymbol(chips, 5); d != 1 {
+		t.Fatalf("distance after one flip = %d, want 1", d)
+	}
+	if _, err := HammingToSymbol(chips[:10], 5); err == nil {
+		t.Fatal("short chips: expected error")
+	}
+	if _, err := HammingToSymbol(chips, 99); err == nil {
+		t.Fatal("bad symbol: expected error")
+	}
+}
+
+func TestNearestSymbolRejectsBadLength(t *testing.T) {
+	if _, _, err := NearestSymbol(make([]uint8, 31)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBytesToSymbolsRoundTrip(t *testing.T) {
+	data := []byte{0x00, 0x7A, 0xFF, 0x12, 0xAB}
+	syms := BytesToSymbols(data)
+	if len(syms) != 2*len(data) {
+		t.Fatalf("symbol count = %d", len(syms))
+	}
+	// Low nibble first: 0x7A -> A, 7.
+	if syms[2] != 0xA || syms[3] != 0x7 {
+		t.Fatalf("0x7A -> %d,%d want 10,7", syms[2], syms[3])
+	}
+	back, err := SymbolsToBytes(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatalf("byte %d: got %#x want %#x", i, back[i], data[i])
+		}
+	}
+}
+
+func TestSymbolsToBytesErrors(t *testing.T) {
+	if _, err := SymbolsToBytes([]uint8{1}); err == nil {
+		t.Fatal("odd count: expected error")
+	}
+	if _, err := SymbolsToBytes([]uint8{1, 16}); err == nil {
+		t.Fatal("out-of-range symbol: expected error")
+	}
+}
+
+func TestBytesSymbolsRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		back, err := SymbolsToBytes(BytesToSymbols(data))
+		if err != nil {
+			return false
+		}
+		if len(back) != len(data) {
+			return false
+		}
+		for i := range data {
+			if back[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

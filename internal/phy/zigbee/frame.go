@@ -1,0 +1,110 @@
+package zigbee
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Frame format constants (paper Fig. 3 / IEEE 802.15.4 §12.1).
+const (
+	// PreambleLen is the length of the all-zero preamble in bytes.
+	PreambleLen = 4
+	// SFD is the start-of-frame delimiter that follows the preamble.
+	SFD = 0x7A
+	// MaxPayload is the maximum PSDU length in bytes, including the
+	// 2-byte FCS.
+	MaxPayload = 127
+	// FCSLen is the length of the frame check sequence in bytes.
+	FCSLen = 2
+)
+
+// Frame codec errors. ErrNoSFD models the paper's stealthiness observation:
+// a receiver that locks onto a preamble but never finds a valid delimiter
+// decodes nothing while its hardware stays busy.
+var (
+	ErrPayloadTooLong = errors.New("zigbee: payload too long")
+	ErrNoSFD          = errors.New("zigbee: start-of-frame delimiter not found")
+	ErrTruncated      = errors.New("zigbee: frame truncated")
+	ErrBadFCS         = errors.New("zigbee: frame check sequence mismatch")
+)
+
+// CRC16 computes the 16-bit ITU-T CRC (polynomial x^16+x^12+x^5+1, initial
+// value 0) used as the 802.15.4 FCS, processing bits LSB-first.
+func CRC16(data []byte) uint16 {
+	var crc uint16
+	for _, b := range data {
+		crc ^= uint16(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = (crc >> 1) ^ 0x8408 // reversed 0x1021
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return crc
+}
+
+// EncodeFrame builds the over-the-air byte stream for a MAC payload:
+// preamble, SFD, PHY header (length), payload, FCS. The payload may be at
+// most MaxPayload-FCSLen bytes.
+func EncodeFrame(payload []byte) ([]byte, error) {
+	if len(payload)+FCSLen > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes (max %d)", ErrPayloadTooLong, len(payload), MaxPayload-FCSLen)
+	}
+	psduLen := len(payload) + FCSLen
+	out := make([]byte, 0, PreambleLen+2+psduLen)
+	out = append(out, make([]byte, PreambleLen)...) // 0x00 preamble
+	out = append(out, SFD)
+	out = append(out, byte(psduLen)) // PHY header: 7-bit length
+	out = append(out, payload...)
+	fcs := CRC16(payload)
+	out = append(out, byte(fcs&0xFF), byte(fcs>>8))
+	return out, nil
+}
+
+// DecodeFrame parses an over-the-air byte stream produced by EncodeFrame
+// (possibly with corrupted bytes) and returns the payload. It scans for the
+// SFD after at least one preamble byte, honouring the paper's observation
+// that a stream without a delimiter occupies the receiver without yielding
+// data (ErrNoSFD).
+func DecodeFrame(stream []byte) ([]byte, error) {
+	// Find SFD preceded by at least one zero (preamble) byte.
+	sfdAt := -1
+	for i := 1; i < len(stream); i++ {
+		if stream[i] == SFD && stream[i-1] == 0x00 {
+			sfdAt = i
+			break
+		}
+	}
+	if sfdAt < 0 {
+		return nil, ErrNoSFD
+	}
+	if sfdAt+1 >= len(stream) {
+		return nil, ErrTruncated
+	}
+	psduLen := int(stream[sfdAt+1] & 0x7F)
+	if psduLen < FCSLen {
+		return nil, fmt.Errorf("%w: PSDU length %d", ErrTruncated, psduLen)
+	}
+	start := sfdAt + 2
+	if start+psduLen > len(stream) {
+		return nil, ErrTruncated
+	}
+	psdu := stream[start : start+psduLen]
+	payload := psdu[:psduLen-FCSLen]
+	gotFCS := uint16(psdu[psduLen-2]) | uint16(psdu[psduLen-1])<<8
+	if CRC16(payload) != gotFCS {
+		return nil, ErrBadFCS
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out, nil
+}
+
+// FrameAirtime returns the on-air duration in seconds of a frame carrying
+// payloadLen payload bytes (preamble+SFD+header+payload+FCS at 250 kb/s).
+func FrameAirtime(payloadLen int) float64 {
+	totalBytes := PreambleLen + 1 + 1 + payloadLen + FCSLen
+	return float64(totalBytes*8) / float64(BitRateHz)
+}

@@ -1,0 +1,139 @@
+package zigbee
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC16KnownVector(t *testing.T) {
+	// IEEE 802.15.4 FCS example: empty data has CRC 0.
+	if got := CRC16(nil); got != 0 {
+		t.Fatalf("CRC16(nil) = %#x, want 0", got)
+	}
+	// CRC must change when data changes.
+	a := CRC16([]byte{0x01, 0x02, 0x03})
+	b := CRC16([]byte{0x01, 0x02, 0x04})
+	if a == b {
+		t.Fatal("CRC collision on 1-byte change")
+	}
+}
+
+func TestEncodeDecodeFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello zigbee network")
+	frame, err := EncodeFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check on-air layout: preamble, SFD, length.
+	for i := 0; i < PreambleLen; i++ {
+		if frame[i] != 0 {
+			t.Fatalf("preamble byte %d = %#x", i, frame[i])
+		}
+	}
+	if frame[PreambleLen] != SFD {
+		t.Fatalf("SFD = %#x", frame[PreambleLen])
+	}
+	if int(frame[PreambleLen+1]) != len(payload)+FCSLen {
+		t.Fatalf("length byte = %d", frame[PreambleLen+1])
+	}
+	got, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+}
+
+func TestEncodeFrameTooLong(t *testing.T) {
+	if _, err := EncodeFrame(make([]byte, 126)); !errors.Is(err, ErrPayloadTooLong) {
+		t.Fatalf("err = %v, want ErrPayloadTooLong", err)
+	}
+	// 125 payload + 2 FCS = 127 is the maximum and must succeed.
+	if _, err := EncodeFrame(make([]byte, 125)); err != nil {
+		t.Fatalf("125-byte payload: %v", err)
+	}
+}
+
+func TestDecodeFrameNoSFD(t *testing.T) {
+	// Preamble-only stream: the stealthy EmuBee case — receiver locks on
+	// but never finds a delimiter.
+	stream := make([]byte, 32)
+	if _, err := DecodeFrame(stream); !errors.Is(err, ErrNoSFD) {
+		t.Fatalf("err = %v, want ErrNoSFD", err)
+	}
+}
+
+func TestDecodeFrameCorruptFCS(t *testing.T) {
+	frame, err := EncodeFrame([]byte{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)-3] ^= 0xFF // corrupt a payload byte
+	if _, err := DecodeFrame(frame); !errors.Is(err, ErrBadFCS) {
+		t.Fatalf("err = %v, want ErrBadFCS", err)
+	}
+}
+
+func TestDecodeFrameTruncated(t *testing.T) {
+	frame, err := EncodeFrame([]byte{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFrame(frame[:len(frame)-2]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if _, err := DecodeFrame(frame[:PreambleLen+1]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("header-only err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) > MaxPayload-FCSLen {
+			payload = payload[:MaxPayload-FCSLen]
+		}
+		frame, err := EncodeFrame(payload)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeFrame(frame)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRCDetectsSingleBitErrorsProperty(t *testing.T) {
+	// CRC-16 detects all single-bit errors.
+	f := func(payload []byte, pos uint16) bool {
+		if len(payload) == 0 {
+			payload = []byte{0}
+		}
+		orig := CRC16(payload)
+		mut := make([]byte, len(payload))
+		copy(mut, payload)
+		bit := int(pos) % (len(payload) * 8)
+		mut[bit/8] ^= 1 << (bit % 8)
+		return CRC16(mut) != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameAirtime(t *testing.T) {
+	// 127-byte PSDU frame: (4+1+1+125+2)*8 bits / 250 kb/s = 4.256 ms.
+	got := FrameAirtime(125)
+	want := 133.0 * 8 / 250000
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FrameAirtime(125) = %v, want %v", got, want)
+	}
+	if FrameAirtime(10) >= got {
+		t.Fatal("airtime must grow with payload")
+	}
+}

@@ -1,0 +1,159 @@
+package zigbee
+
+import (
+	"fmt"
+	"math"
+
+	"ctjam/internal/dsp"
+)
+
+// DefaultSamplesPerChip gives a 20 MHz complex-baseband sample rate
+// (10 samples x 2 Mchip/s), matching the Wi-Fi OFDM sample rate so that
+// emulated and genuine waveforms live on the same time base.
+const DefaultSamplesPerChip = 10
+
+// Modulator converts chip streams to O-QPSK half-sine-shaped complex
+// baseband waveforms and back. The zero value is not usable; construct with
+// NewModulator.
+type Modulator struct {
+	spc   int       // samples per chip
+	pulse []float64 // half-sine pulse spanning two chip periods
+
+	symbolCache map[int][]complex128 // memoized reference symbol waveforms
+}
+
+// NewModulator returns a Modulator with the given oversampling factor
+// (samples per chip). The factor must be a positive even number so the Q
+// branch can be offset by exactly half a pulse.
+func NewModulator(samplesPerChip int) (*Modulator, error) {
+	if samplesPerChip < 2 || samplesPerChip%2 != 0 {
+		return nil, fmt.Errorf("zigbee: samples per chip %d must be even and >= 2", samplesPerChip)
+	}
+	// Each I/Q chip pulse spans two chip periods with a half-sine shape.
+	n := 2 * samplesPerChip
+	pulse := make([]float64, n)
+	for i := range pulse {
+		pulse[i] = math.Sin(math.Pi * float64(i) / float64(n))
+	}
+	return &Modulator{spc: samplesPerChip, pulse: pulse}, nil
+}
+
+// SamplesPerChip returns the oversampling factor.
+func (m *Modulator) SamplesPerChip() int { return m.spc }
+
+// SampleRateHz returns the complex-baseband sample rate.
+func (m *Modulator) SampleRateHz() float64 {
+	return float64(m.spc) * float64(ChipRateHz)
+}
+
+// WaveformLen returns the number of samples produced for nChips chips.
+func (m *Modulator) WaveformLen(nChips int) int {
+	if nChips == 0 {
+		return 0
+	}
+	// The Q branch is delayed by one chip period and each pulse spans two
+	// chip periods, so the tail extends 2 chips past the last chip start.
+	return (nChips + 2) * m.spc
+}
+
+// Modulate produces the O-QPSK complex baseband waveform for a chip stream.
+// Even-indexed chips drive the in-phase branch, odd-indexed chips the
+// quadrature branch delayed by one chip period; both use half-sine pulses
+// spanning two chip periods (MSK-equivalent shaping per IEEE 802.15.4
+// §12.2.6).
+func (m *Modulator) Modulate(chips []uint8) []complex128 {
+	out := make([]complex128, m.WaveformLen(len(chips)))
+	for k, chip := range chips {
+		level := float64(2*int(chip&1) - 1) // 0 -> -1, 1 -> +1
+		// Pulse k starts at sample k*spc. Odd (Q-branch) chips are
+		// thereby offset one chip period from the even (I-branch)
+		// chips, which realizes the O-QPSK half-symbol offset.
+		start := k * m.spc
+		for i, p := range m.pulse {
+			j := start + i
+			if j >= len(out) {
+				break
+			}
+			if k%2 == 0 {
+				out[j] += complex(level*p, 0)
+			} else {
+				out[j] += complex(0, level*p)
+			}
+		}
+	}
+	return out
+}
+
+// ModulateSymbols spreads the symbols and modulates the resulting chips.
+func (m *Modulator) ModulateSymbols(symbols []uint8) ([]complex128, error) {
+	chips, err := Spread(symbols)
+	if err != nil {
+		return nil, err
+	}
+	return m.Modulate(chips), nil
+}
+
+// symbolWaveform returns the modulated waveform of a single symbol's 32
+// chips including the pulse tail. Results are cached per modulator.
+func (m *Modulator) symbolWaveform(s int) []complex128 {
+	if m.symbolCache == nil {
+		m.symbolCache = make(map[int][]complex128, SymbolCount)
+	}
+	if w, ok := m.symbolCache[s]; ok {
+		return w
+	}
+	w := m.Modulate(chipTable[s][:])
+	m.symbolCache[s] = w
+	return w
+}
+
+// DemodulateChips recovers hard chip decisions from a waveform that starts
+// at chip 0 (as produced by Modulate). It samples each branch at the peak of
+// its half-sine pulse.
+func (m *Modulator) DemodulateChips(wave []complex128, nChips int) ([]uint8, error) {
+	need := nChips*m.spc + m.spc // peak of the last pulse
+	if len(wave) < need {
+		return nil, fmt.Errorf("zigbee: waveform too short: %d samples, need %d", len(wave), need)
+	}
+	chips := make([]uint8, nChips)
+	for k := 0; k < nChips; k++ {
+		peak := k*m.spc + m.spc // center of pulse spanning [k*spc, k*spc+2*spc)
+		v := wave[peak]
+		var level float64
+		if k%2 == 0 {
+			level = real(v)
+		} else {
+			level = imag(v)
+		}
+		if level > 0 {
+			chips[k] = 1
+		}
+	}
+	return chips, nil
+}
+
+// DemodulateSymbols performs coherent maximum-likelihood detection: each
+// 32-chip span of the waveform is correlated against the 16 candidate symbol
+// waveforms and the best match wins. It returns the detected symbols.
+func (m *Modulator) DemodulateSymbols(wave []complex128, nSymbols int) ([]uint8, error) {
+	span := ChipsPerSymbol * m.spc
+	if len(wave) < nSymbols*span {
+		return nil, fmt.Errorf("zigbee: waveform too short: %d samples, need %d", len(wave), nSymbols*span)
+	}
+	out := make([]uint8, nSymbols)
+	for i := 0; i < nSymbols; i++ {
+		seg := wave[i*span:]
+		best, bestMetric := 0, math.Inf(-1)
+		for s := 0; s < SymbolCount; s++ {
+			ref := m.symbolWaveform(s)
+			// Correlate over the symbol body only (exclude the tail
+			// that overlaps the next symbol).
+			metric := real(dsp.Correlate(seg[:span], ref[:span]))
+			if metric > bestMetric {
+				best, bestMetric = s, metric
+			}
+		}
+		out[i] = uint8(best)
+	}
+	return out, nil
+}

@@ -1,0 +1,254 @@
+package zigbee
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ctjam/internal/dsp"
+)
+
+func TestNewModulatorValidation(t *testing.T) {
+	tests := []struct {
+		give    int
+		wantErr bool
+	}{
+		{-2, true},
+		{0, true},
+		{1, true},
+		{3, true},
+		{2, false},
+		{10, false},
+	}
+	for _, tt := range tests {
+		_, err := NewModulator(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("NewModulator(%d) err = %v, wantErr %v", tt.give, err, tt.wantErr)
+		}
+	}
+}
+
+func TestModulatorSampleRate(t *testing.T) {
+	m, err := NewModulator(DefaultSamplesPerChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SampleRateHz(); got != 20e6 {
+		t.Fatalf("SampleRateHz = %v, want 20 MHz", got)
+	}
+}
+
+func TestModulateChipRoundTrip(t *testing.T) {
+	m, err := NewModulator(DefaultSamplesPerChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chips := []uint8{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 1, 0, 1}
+	wave := m.Modulate(chips)
+	if len(wave) != m.WaveformLen(len(chips)) {
+		t.Fatalf("waveform length %d, want %d", len(wave), m.WaveformLen(len(chips)))
+	}
+	got, err := m.DemodulateChips(wave, len(chips))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range chips {
+		if got[i] != chips[i] {
+			t.Fatalf("chip %d: got %d want %d", i, got[i], chips[i])
+		}
+	}
+}
+
+func TestModulateChipRoundTripProperty(t *testing.T) {
+	m, err := NewModulator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		nc := 2 + int(n%62)
+		chips := make([]uint8, nc)
+		for i := range chips {
+			chips[i] = uint8(r.Intn(2))
+		}
+		wave := m.Modulate(chips)
+		got, err := m.DemodulateChips(wave, nc)
+		if err != nil {
+			return false
+		}
+		for i := range chips {
+			if got[i] != chips[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemodulateChipsTooShort(t *testing.T) {
+	m, err := NewModulator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DemodulateChips(make([]complex128, 10), 8); err == nil {
+		t.Fatal("expected error for short waveform")
+	}
+}
+
+func TestSymbolWaveformRoundTripCleanChannel(t *testing.T) {
+	m, err := NewModulator(DefaultSamplesPerChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symbols := []uint8{0, 5, 10, 15, 7, 8, 2, 13}
+	wave, err := m.ModulateSymbols(symbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.DemodulateSymbols(wave, len(symbols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range symbols {
+		if got[i] != symbols[i] {
+			t.Fatalf("symbol %d: got %d want %d", i, got[i], symbols[i])
+		}
+	}
+}
+
+func TestSymbolDetectionUnderNoise(t *testing.T) {
+	// Coherent 32-chip correlation should survive substantial AWGN.
+	m, err := NewModulator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(42))
+	symbols := make([]uint8, 40)
+	for i := range symbols {
+		symbols[i] = uint8(r.Intn(16))
+	}
+	wave, err := m.ModulateSymbols(symbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigPow := dsp.Power(wave)
+	// 0 dB SNR per sample: sigma^2 = signal power.
+	sigma := math.Sqrt(sigPow / 2)
+	noisy := make([]complex128, len(wave))
+	for i, v := range wave {
+		noisy[i] = v + complex(r.NormFloat64()*sigma, r.NormFloat64()*sigma)
+	}
+	got, err := m.DemodulateSymbols(noisy, len(symbols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errors := 0
+	for i := range symbols {
+		if got[i] != symbols[i] {
+			errors++
+		}
+	}
+	if errors > 2 {
+		t.Fatalf("%d/%d symbol errors at 0 dB SNR; DSSS should cope", errors, len(symbols))
+	}
+}
+
+func TestDemodulateSymbolsTooShort(t *testing.T) {
+	m, err := NewModulator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DemodulateSymbols(make([]complex128, 100), 2); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestWaveformEnvelopeIsBounded(t *testing.T) {
+	// O-QPSK with half-sine shaping is (near) constant envelope; the
+	// magnitude never exceeds sqrt(2) with unit pulses.
+	m, err := NewModulator(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	chips := make([]uint8, 128)
+	for i := range chips {
+		chips[i] = uint8(r.Intn(2))
+	}
+	wave := m.Modulate(chips)
+	if peak := dsp.MaxAbs(wave); peak > math.Sqrt2+1e-9 {
+		t.Fatalf("envelope peak %v exceeds sqrt(2)", peak)
+	}
+}
+
+func TestEndToEndFrameOverWaveform(t *testing.T) {
+	// Full stack: payload -> frame -> symbols -> chips -> waveform ->
+	// chips -> symbols -> frame -> payload.
+	m, err := NewModulator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("sensor#3 temp=22.5")
+	frame, err := EncodeFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := BytesToSymbols(frame)
+	wave, err := m.ModulateSymbols(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSyms, err := m.DemodulateSymbols(wave, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFrame, err := SymbolsToBytes(gotSyms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPayload, err := DecodeFrame(gotFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotPayload) != string(payload) {
+		t.Fatalf("payload = %q, want %q", gotPayload, payload)
+	}
+}
+
+func BenchmarkModulateSymbol(b *testing.B) {
+	m, err := NewModulator(DefaultSamplesPerChip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syms := []uint8{3, 9, 12, 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ModulateSymbols(syms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDemodulateSymbol(b *testing.B) {
+	m, err := NewModulator(DefaultSamplesPerChip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syms := []uint8{3, 9, 12, 0}
+	wave, err := m.ModulateSymbols(syms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.DemodulateSymbols(wave, len(syms)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

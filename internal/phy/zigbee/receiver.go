@@ -1,0 +1,146 @@
+package zigbee
+
+// This file models the victim receiver's packet-processing state machine,
+// the basis of the paper's stealthiness argument (§II-A2, §II-B): a ZigBee
+// radio that detects a preamble commits hardware to synchronization and
+// decoding. A signal with ZigBee chip structure but no valid frame behind
+// it — EmuBee — occupies the receiver without ever producing an event a
+// defender could log, whereas conventional jamming leaves decodable
+// packets or CRC failures behind.
+
+// Receiver states.
+const (
+	stateIdle = iota
+	stateSync // preamble acquired, hunting for the SFD
+	stateLen  // SFD seen, reading the PHY header
+	statePayload
+)
+
+// preambleSymbols is the number of consecutive zero symbols that trigger
+// synchronization (the 4-byte preamble is 8 zero symbols).
+const preambleSymbols = 8
+
+// sfdTimeoutSymbols bounds how long the receiver hunts for a delimiter
+// after acquiring a preamble before giving up.
+const sfdTimeoutSymbols = 16
+
+// ReceiverReport summarizes what happened while processing a symbol stream,
+// split into defender-visible events (packets, CRC failures) and the
+// invisible cost EmuBee exploits (busy time, phantom synchronizations).
+type ReceiverReport struct {
+	// SymbolsProcessed is the stream length.
+	SymbolsProcessed int
+	// PacketsDecoded counts frames that passed the FCS.
+	PacketsDecoded int
+	// CRCFailures counts frames that parsed but failed the FCS —
+	// loggable evidence of interference.
+	CRCFailures int
+	// PhantomSyncs counts preamble acquisitions that never produced a
+	// delimiter — the receiver was busied for nothing and, crucially,
+	// has nothing to log.
+	PhantomSyncs int
+	// BusySymbols counts symbols spent outside the idle state.
+	BusySymbols int
+}
+
+// BusyFraction is the share of the stream the receiver spent occupied.
+func (r ReceiverReport) BusyFraction() float64 {
+	if r.SymbolsProcessed == 0 {
+		return 0
+	}
+	return float64(r.BusySymbols) / float64(r.SymbolsProcessed)
+}
+
+// DetectableEvents counts the log entries a defender's IDS would see.
+func (r ReceiverReport) DetectableEvents() int {
+	return r.PacketsDecoded + r.CRCFailures
+}
+
+// ProcessSymbolStream runs the receiver state machine over a demodulated
+// symbol stream (values 0..15) and reports the outcome.
+func ProcessSymbolStream(stream []uint8) ReceiverReport {
+	var (
+		report    ReceiverReport
+		state     = stateIdle
+		zeroRun   int
+		sfdWait   int
+		sfdLow    = uint8(SFD & 0x0F)
+		sfdHigh   = uint8(SFD >> 4)
+		prevSym   = uint8(0xFF)
+		psduLen   int
+		collected []uint8
+	)
+	report.SymbolsProcessed = len(stream)
+
+	for _, sym := range stream {
+		if state != stateIdle {
+			report.BusySymbols++
+		}
+		switch state {
+		case stateIdle:
+			if sym == 0 {
+				zeroRun++
+				if zeroRun >= preambleSymbols {
+					state = stateSync
+					sfdWait = 0
+					prevSym = 0
+					report.BusySymbols++ // this symbol committed the radio
+				}
+			} else {
+				zeroRun = 0
+			}
+		case stateSync:
+			// The SFD byte 0x7A arrives low nibble first: symbol
+			// 0xA then 0x7.
+			if prevSym == sfdLow && sym == sfdHigh {
+				state = stateLen
+				collected = collected[:0]
+				break
+			}
+			prevSym = sym
+			sfdWait++
+			if sfdWait >= sfdTimeoutSymbols {
+				report.PhantomSyncs++
+				state = stateIdle
+				zeroRun = 0
+			}
+		case stateLen:
+			collected = append(collected, sym)
+			if len(collected) == 2 {
+				psduLen = int(collected[0]|collected[1]<<4) & 0x7F
+				if psduLen < FCSLen {
+					// Malformed header: another phantom.
+					report.PhantomSyncs++
+					state = stateIdle
+					zeroRun = 0
+					break
+				}
+				collected = collected[:0]
+				state = statePayload
+			}
+		case statePayload:
+			collected = append(collected, sym)
+			if len(collected) == 2*psduLen {
+				psdu, err := SymbolsToBytes(collected)
+				if err == nil && len(psdu) >= FCSLen {
+					payload := psdu[:len(psdu)-FCSLen]
+					got := uint16(psdu[len(psdu)-2]) | uint16(psdu[len(psdu)-1])<<8
+					if CRC16(payload) == got {
+						report.PacketsDecoded++
+					} else {
+						report.CRCFailures++
+					}
+				} else {
+					report.CRCFailures++
+				}
+				state = stateIdle
+				zeroRun = 0
+			}
+		}
+	}
+	// A stream ending mid-acquisition is a phantom too.
+	if state == stateSync {
+		report.PhantomSyncs++
+	}
+	return report
+}

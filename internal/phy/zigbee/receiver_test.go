@@ -1,0 +1,141 @@
+package zigbee
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func frameSymbols(t *testing.T, payload []byte) []uint8 {
+	t.Helper()
+	frame, err := EncodeFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BytesToSymbols(frame)
+}
+
+func TestReceiverDecodesValidFrame(t *testing.T) {
+	stream := frameSymbols(t, []byte("hello"))
+	rep := ProcessSymbolStream(stream)
+	if rep.PacketsDecoded != 1 {
+		t.Fatalf("decoded %d packets, want 1 (%+v)", rep.PacketsDecoded, rep)
+	}
+	if rep.CRCFailures != 0 || rep.PhantomSyncs != 0 {
+		t.Fatalf("unexpected failures: %+v", rep)
+	}
+	if rep.BusySymbols == 0 {
+		t.Fatal("receiver never went busy")
+	}
+}
+
+func TestReceiverDecodesBackToBackFrames(t *testing.T) {
+	var stream []uint8
+	for i := 0; i < 3; i++ {
+		stream = append(stream, frameSymbols(t, []byte{byte(i), 1, 2})...)
+	}
+	rep := ProcessSymbolStream(stream)
+	if rep.PacketsDecoded != 3 {
+		t.Fatalf("decoded %d packets, want 3 (%+v)", rep.PacketsDecoded, rep)
+	}
+}
+
+func TestReceiverLogsCRCFailure(t *testing.T) {
+	stream := frameSymbols(t, []byte("payload!"))
+	// Corrupt one payload symbol after the header (preamble 8 + SFD 2 +
+	// len 2 = 12 symbols).
+	stream[14] ^= 0x5
+	rep := ProcessSymbolStream(stream)
+	if rep.CRCFailures != 1 {
+		t.Fatalf("CRC failures = %d, want 1 (%+v)", rep.CRCFailures, rep)
+	}
+	if rep.PacketsDecoded != 0 {
+		t.Fatalf("decoded a corrupted packet: %+v", rep)
+	}
+}
+
+func TestReceiverPhantomSyncOnPreambleOnly(t *testing.T) {
+	// The paper's stealthy EmuBee signature: preamble, then nothing.
+	stream := make([]uint8, 64) // a long run of zero symbols
+	rep := ProcessSymbolStream(stream)
+	if rep.PhantomSyncs == 0 {
+		t.Fatalf("preamble-only stream produced no phantom syncs: %+v", rep)
+	}
+	if rep.DetectableEvents() != 0 {
+		t.Fatalf("stealthy stream left detectable events: %+v", rep)
+	}
+	if rep.BusyFraction() < 0.5 {
+		t.Fatalf("receiver busy only %.2f of a preamble flood", rep.BusyFraction())
+	}
+}
+
+func TestReceiverMalformedHeaderIsPhantom(t *testing.T) {
+	// Preamble + SFD + PSDU length below the FCS size.
+	stream := make([]uint8, 0, 16)
+	stream = append(stream, make([]uint8, preambleSymbols)...)
+	stream = append(stream, SFD&0x0F, SFD>>4)
+	stream = append(stream, 1, 0) // length 1 < FCSLen
+	rep := ProcessSymbolStream(stream)
+	if rep.PhantomSyncs != 1 || rep.DetectableEvents() != 0 {
+		t.Fatalf("malformed header report %+v", rep)
+	}
+}
+
+func TestReceiverIgnoresRandomNoise(t *testing.T) {
+	// Uniform random symbols rarely form 8 consecutive zeros; the
+	// receiver should mostly stay idle and log nothing.
+	rng := rand.New(rand.NewSource(1))
+	stream := make([]uint8, 5000)
+	for i := range stream {
+		stream[i] = uint8(rng.Intn(16))
+	}
+	rep := ProcessSymbolStream(stream)
+	if rep.PacketsDecoded != 0 {
+		t.Fatalf("decoded %d packets from noise", rep.PacketsDecoded)
+	}
+	if rep.BusyFraction() > 0.1 {
+		t.Fatalf("noise busied the receiver %.2f of the time", rep.BusyFraction())
+	}
+}
+
+func TestReceiverTruncatedStreamCountsPhantom(t *testing.T) {
+	stream := make([]uint8, preambleSymbols+2) // sync then stream ends
+	rep := ProcessSymbolStream(stream)
+	if rep.PhantomSyncs == 0 {
+		t.Fatalf("truncated acquisition not counted: %+v", rep)
+	}
+}
+
+func TestReceiverEmptyStream(t *testing.T) {
+	rep := ProcessSymbolStream(nil)
+	if rep != (ReceiverReport{}) {
+		t.Fatalf("empty stream report %+v", rep)
+	}
+	if rep.BusyFraction() != 0 {
+		t.Fatal("BusyFraction of empty report must be 0")
+	}
+}
+
+func TestStealthinessRanking(t *testing.T) {
+	// §II-B: EmuBee busies the victim with zero detectable events, while
+	// conventional ZigBee-format jamming leaves decodable packets in the
+	// victim's log.
+	emuBee := make([]uint8, 2000) // chip-matched preamble flood
+	zigbeeJam := make([]uint8, 0, 2000)
+	for len(zigbeeJam) < 2000 {
+		zigbeeJam = append(zigbeeJam, frameSymbols(t, []byte{0xDE, 0xAD})...)
+	}
+
+	emuRep := ProcessSymbolStream(emuBee)
+	zbRep := ProcessSymbolStream(zigbeeJam)
+
+	if emuRep.DetectableEvents() != 0 {
+		t.Fatalf("EmuBee left %d detectable events", emuRep.DetectableEvents())
+	}
+	if zbRep.DetectableEvents() == 0 {
+		t.Fatal("conventional jamming left no detectable events")
+	}
+	if emuRep.BusyFraction() < zbRep.BusyFraction()-0.2 {
+		t.Fatalf("EmuBee busy %.2f should rival conventional %.2f",
+			emuRep.BusyFraction(), zbRep.BusyFraction())
+	}
+}

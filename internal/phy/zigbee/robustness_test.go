@@ -1,0 +1,135 @@
+package zigbee
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Robustness suite: the frame codec and receiver state machine face
+// attacker-controlled input by design (that is the whole point of the
+// paper's jammer), so no input may panic them and every malformed input
+// must surface as an error or a clean report.
+
+func TestDecodeFrameNeverPanicsProperty(t *testing.T) {
+	f := func(stream []byte) bool {
+		// Must not panic; error or payload are both acceptable.
+		payload, err := DecodeFrame(stream)
+		if err == nil && payload == nil {
+			return false // success must yield a (possibly empty) payload
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeFrameRandomStreamsRarelyValidate(t *testing.T) {
+	// A CRC-16 behind a framed format should reject essentially all
+	// random byte streams.
+	rng := rand.New(rand.NewSource(1))
+	accepted := 0
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		stream := make([]byte, 64)
+		if _, err := rng.Read(stream); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeFrame(stream); err == nil {
+			accepted++
+		}
+	}
+	if accepted > 1 {
+		t.Fatalf("%d/%d random streams decoded as valid frames", accepted, trials)
+	}
+}
+
+func TestProcessSymbolStreamNeverPanicsProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		stream := make([]uint8, len(raw))
+		for i, b := range raw {
+			stream[i] = b & 0x0F
+		}
+		rep := ProcessSymbolStream(stream)
+		// Invariants: busy time bounded by stream length; counters
+		// non-negative.
+		if rep.BusySymbols < 0 || rep.BusySymbols > rep.SymbolsProcessed {
+			return false
+		}
+		if rep.PacketsDecoded < 0 || rep.CRCFailures < 0 || rep.PhantomSyncs < 0 {
+			return false
+		}
+		return rep.SymbolsProcessed == len(stream)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessSymbolStreamBitflippedFramesAccounted(t *testing.T) {
+	// Every corrupted frame must land in exactly one bucket: decoded,
+	// CRC failure, or phantom.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		frame, err := EncodeFrame([]byte{1, 2, 3, 4, 5, 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		syms := BytesToSymbols(frame)
+		// Flip one random symbol nibble.
+		pos := rng.Intn(len(syms))
+		syms[pos] ^= uint8(1 + rng.Intn(15))
+		rep := ProcessSymbolStream(syms)
+		total := rep.PacketsDecoded + rep.CRCFailures + rep.PhantomSyncs
+		if total == 0 && rep.BusySymbols == 0 {
+			// Corrupting the preamble region may suppress sync
+			// entirely; that is legal only for early positions.
+			if pos >= PreambleLen*2 {
+				t.Fatalf("trial %d: flip at %d produced no receiver activity", trial, pos)
+			}
+			continue
+		}
+		if total > 2 {
+			t.Fatalf("trial %d: one frame produced %d events (%+v)", trial, total, rep)
+		}
+	}
+}
+
+func TestSpreadDespreadAllSymbolsExhaustive(t *testing.T) {
+	// Exhaustive: every symbol survives a spread/despread round trip,
+	// alone and in every adjacent pair.
+	for a := uint8(0); a < 16; a++ {
+		for b := uint8(0); b < 16; b++ {
+			chips, err := Spread([]uint8{a, b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := Despread(chips)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back[0] != a || back[1] != b {
+				t.Fatalf("pair (%d,%d) -> (%d,%d)", a, b, back[0], back[1])
+			}
+		}
+	}
+}
+
+func TestModulatorExtremeOversampling(t *testing.T) {
+	// Large even oversampling factors must round-trip too.
+	m, err := NewModulator(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chips := []uint8{1, 0, 0, 1, 1, 1, 0, 1}
+	got, err := m.DemodulateChips(m.Modulate(chips), len(chips))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range chips {
+		if got[i] != chips[i] {
+			t.Fatalf("chip %d mismatch at 32x oversampling", i)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package radio models the 2.4 GHz propagation environment of the paper's
+// experiments: log-distance path loss, additive noise, SINR at the victim
+// receiver, the effectiveness of different jamming signal types against
+// ZigBee's DSSS receiver, and the spectral overlap between Wi-Fi and ZigBee
+// channels (one 20 MHz Wi-Fi channel covers four 2 MHz ZigBee channels).
+package radio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ctjam/internal/phy/zigbee"
+)
+
+// Transmit powers from the paper's motivation (§II-B): Wi-Fi radios emit up
+// to 100 mW while energy-constrained ZigBee radios emit around 1 mW.
+const (
+	WiFiTxPowerDBm   = 20.0
+	ZigBeeTxPowerDBm = 0.0
+	// NoiseFloorDBm is the receiver noise floor over a 2 MHz ZigBee
+	// channel (thermal -111 dBm plus a ~10 dB noise figure, rounded).
+	NoiseFloorDBm = -100.0
+)
+
+// DBmToMilliwatt converts dBm to milliwatts.
+func DBmToMilliwatt(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// MilliwattToDBm converts milliwatts to dBm. Zero or negative power maps to
+// -Inf.
+func MilliwattToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+// PathLoss is a log-distance path-loss model:
+// L(d) = RefLossDB + 10*Exponent*log10(d/1m).
+type PathLoss struct {
+	// RefLossDB is the loss at 1 m. Free space at 2.4 GHz gives 40 dB.
+	RefLossDB float64
+	// Exponent is the path-loss exponent (2 free space, ~2.5-3 indoor).
+	Exponent float64
+}
+
+// DefaultPathLoss models the indoor lab environment of the paper's field
+// experiments.
+func DefaultPathLoss() PathLoss {
+	return PathLoss{RefLossDB: 40, Exponent: 2.7}
+}
+
+// LossDB returns the path loss at distance d meters. Distances below 0.1 m
+// are clamped to 0.1 m.
+func (p PathLoss) LossDB(d float64) float64 {
+	if d < 0.1 {
+		d = 0.1
+	}
+	return p.RefLossDB + 10*p.Exponent*math.Log10(d)
+}
+
+// ReceivedPowerDBm returns the received power for a transmitter at txDBm and
+// distance d meters.
+func (p PathLoss) ReceivedPowerDBm(txDBm, d float64) float64 {
+	return txDBm - p.LossDB(d)
+}
+
+// InterferenceKind labels the jamming signal types compared in Fig. 2(b).
+type InterferenceKind int
+
+// Jamming signal types.
+const (
+	// KindNone means no interference.
+	KindNone InterferenceKind = iota + 1
+	// KindEmuBee is the Wi-Fi-emulated ZigBee waveform: chip-matched,
+	// in-band, transmitted at Wi-Fi power.
+	KindEmuBee
+	// KindZigBee is a genuine ZigBee waveform from a ZigBee radio.
+	KindZigBee
+	// KindWiFi is a plain Wi-Fi OFDM waveform.
+	KindWiFi
+)
+
+// String implements fmt.Stringer.
+func (k InterferenceKind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindEmuBee:
+		return "EmuBee"
+	case KindZigBee:
+		return "ZigBee"
+	case KindWiFi:
+		return "WiFi"
+	default:
+		return fmt.Sprintf("InterferenceKind(%d)", int(k))
+	}
+}
+
+// TxPowerDBm returns the native transmit power of the jammer type.
+func (k InterferenceKind) TxPowerDBm() float64 {
+	switch k {
+	case KindZigBee:
+		return ZigBeeTxPowerDBm
+	case KindEmuBee, KindWiFi:
+		return WiFiTxPowerDBm
+	default:
+		return math.Inf(-1)
+	}
+}
+
+// RejectionDB returns how many dB of the received jamming power the ZigBee
+// DSSS receiver effectively rejects:
+//
+//   - EmuBee and genuine ZigBee waveforms are chip-matched: the despreader
+//     integrates them coherently, so nothing is rejected.
+//   - A plain Wi-Fi OFDM signal spreads its power over 20 MHz, of which only
+//     2 MHz falls in the victim channel (-10 dB), and the remainder behaves
+//     like noise against the 32-chip correlator, which averages it down by
+//     ~10*log10(32) ≈ 15 dB of processing gain.
+func (k InterferenceKind) RejectionDB() float64 {
+	switch k {
+	case KindWiFi:
+		bandwidthPenalty := 10 * math.Log10(20.0/2.0)
+		processingGain := 10 * math.Log10(float64(zigbee.ChipsPerSymbol))
+		return bandwidthPenalty + processingGain
+	default:
+		return 0
+	}
+}
+
+// SINRdB computes the signal-to-interference-plus-noise ratio given the
+// desired received power, the *effective* interference power (after
+// rejection), and the noise floor, all in dBm.
+func SINRdB(signalDBm, interferenceDBm, noiseDBm float64) float64 {
+	in := DBmToMilliwatt(interferenceDBm) + DBmToMilliwatt(noiseDBm)
+	return signalDBm - MilliwattToDBm(in)
+}
+
+// QFunc is the Gaussian tail probability Q(x) = P(N(0,1) > x).
+func QFunc(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// ChipErrorProb maps a per-chip SINR (dB) to the probability of a hard chip
+// decision error for coherent antipodal O-QPSK chips: Q(sqrt(2*SINR)).
+func ChipErrorProb(sinrDB float64) float64 {
+	snr := math.Pow(10, sinrDB/10)
+	return QFunc(math.Sqrt(2 * snr))
+}
+
+// SymbolErrorProb estimates the DSSS symbol error probability at the given
+// chip error probability by Monte-Carlo despreading: flip chips of a random
+// symbol's sequence i.i.d. and count minimum-distance decision errors.
+// trials controls accuracy (a few hundred suffice for the PER curves).
+func SymbolErrorProb(chipErr float64, trials int, rng *rand.Rand) float64 {
+	if chipErr <= 0 {
+		return 0
+	}
+	if chipErr >= 0.5 {
+		return 1 - 1.0/float64(zigbee.SymbolCount)
+	}
+	errors := 0
+	chips := make([]uint8, zigbee.ChipsPerSymbol)
+	for t := 0; t < trials; t++ {
+		s := rng.Intn(zigbee.SymbolCount)
+		seq, err := zigbee.Chips(s)
+		if err != nil {
+			continue
+		}
+		copy(chips, seq)
+		for c := range chips {
+			if rng.Float64() < chipErr {
+				chips[c] ^= 1
+			}
+		}
+		got, _, err := zigbee.NearestSymbol(chips)
+		if err != nil || got != s {
+			errors++
+		}
+	}
+	return float64(errors) / float64(trials)
+}
+
+// PER converts a symbol error probability into a packet error rate for a
+// packet of nSymbols symbols (independent symbol errors).
+func PER(symbolErr float64, nSymbols int) float64 {
+	if nSymbols <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-symbolErr, float64(nSymbols))
+}
+
+// Link describes a victim ZigBee link under attack for the Fig. 2(b)
+// analysis.
+type Link struct {
+	// PathLoss is the propagation model (shared by signal and jammer).
+	PathLoss PathLoss
+	// SignalDistanceM is the transmitter-receiver distance in meters.
+	SignalDistanceM float64
+	// SignalTxDBm is the victim transmitter power.
+	SignalTxDBm float64
+	// PayloadBytes sets the packet size for PER computation.
+	PayloadBytes int
+	// Trials is the Monte-Carlo budget per evaluation.
+	Trials int
+	// ShadowingDB is the log-normal shadowing standard deviation applied
+	// per packet to the signal-to-jammer balance (0 disables). Indoor
+	// measurements like the paper's exhibit a few dB of it, which is
+	// what smears the PER-vs-distance transitions in Fig. 2(b).
+	ShadowingDB float64
+}
+
+// DefaultLink mirrors the Fig. 2 experiment: hub and node a few meters
+// apart, full-size packets, mild indoor shadowing.
+func DefaultLink() Link {
+	return Link{
+		PathLoss:        DefaultPathLoss(),
+		SignalDistanceM: 3,
+		SignalTxDBm:     ZigBeeTxPowerDBm,
+		PayloadBytes:    60,
+		Trials:          400,
+		ShadowingDB:     3,
+	}
+}
+
+// Outcome is the result of evaluating a link under jamming.
+type Outcome struct {
+	SINRdB         float64
+	ChipErrorProb  float64
+	SymbolErrProb  float64
+	PER            float64
+	ThroughputKbps float64
+}
+
+// Evaluate computes the victim link's PER and throughput when a jammer of
+// the given kind transmits from jammerDistanceM meters away. offeredKbps is
+// the application offered load; delivered throughput is offered*(1-PER).
+// With ShadowingDB > 0 the PER is averaged over per-packet log-normal
+// shadowing draws.
+func (l Link) Evaluate(kind InterferenceKind, jammerDistanceM, offeredKbps float64, rng *rand.Rand) Outcome {
+	sig := l.PathLoss.ReceivedPowerDBm(l.SignalTxDBm, l.SignalDistanceM)
+	inter := math.Inf(-1)
+	if kind != KindNone {
+		inter = l.PathLoss.ReceivedPowerDBm(kind.TxPowerDBm(), jammerDistanceM) - kind.RejectionDB()
+	}
+	meanSINR := SINRdB(sig, inter, NoiseFloorDBm)
+	nSym := 2 * (l.PayloadBytes + zigbee.FCSLen + 2) // 2 symbols per byte + header
+
+	draws := 1
+	if l.ShadowingDB > 0 {
+		draws = 16
+	}
+	trials := l.Trials / draws
+	if trials < 25 {
+		trials = 25
+	}
+	var (
+		perSum float64
+		pcSum  float64
+		serSum float64
+	)
+	for d := 0; d < draws; d++ {
+		sinr := meanSINR
+		if l.ShadowingDB > 0 {
+			sinr += rng.NormFloat64() * l.ShadowingDB
+		}
+		pc := ChipErrorProb(sinr)
+		ser := SymbolErrorProb(pc, trials, rng)
+		perSum += PER(ser, nSym)
+		pcSum += pc
+		serSum += ser
+	}
+	per := perSum / float64(draws)
+	return Outcome{
+		SINRdB:         meanSINR,
+		ChipErrorProb:  pcSum / float64(draws),
+		SymbolErrProb:  serSum / float64(draws),
+		PER:            per,
+		ThroughputKbps: offeredKbps * (1 - per),
+	}
+}
+
+// OverlapZigBeeChannels returns the IEEE 802.15.4 channel numbers (11-26)
+// whose 2 MHz band falls inside the 20 MHz band of the given Wi-Fi channel
+// (1-13, 2.4 GHz). This is the paper's "a Wi-Fi jammer can scan and jam up
+// to 4 ZigBee channels at a time".
+func OverlapZigBeeChannels(wifiChannel int) ([]int, error) {
+	if wifiChannel < 1 || wifiChannel > 13 {
+		return nil, fmt.Errorf("radio: wifi channel %d out of range [1,13]", wifiChannel)
+	}
+	wifiCenter := 2412.0 + 5.0*float64(wifiChannel-1)
+	var out []int
+	for ch := 11; ch <= 26; ch++ {
+		center := 2405.0 + 5.0*float64(ch-11)
+		// The ZigBee channel (±1 MHz) must fit within the Wi-Fi
+		// channel (±10 MHz).
+		if math.Abs(center-wifiCenter) <= 9 {
+			out = append(out, ch)
+		}
+	}
+	return out, nil
+}

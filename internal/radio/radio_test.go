@@ -1,0 +1,287 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBmConversions(t *testing.T) {
+	tests := []struct {
+		dbm float64
+		mw  float64
+	}{
+		{0, 1},
+		{10, 10},
+		{20, 100},
+		{-30, 0.001},
+	}
+	for _, tt := range tests {
+		if got := DBmToMilliwatt(tt.dbm); math.Abs(got-tt.mw) > 1e-12 {
+			t.Errorf("DBmToMilliwatt(%v) = %v, want %v", tt.dbm, got, tt.mw)
+		}
+		if got := MilliwattToDBm(tt.mw); math.Abs(got-tt.dbm) > 1e-12 {
+			t.Errorf("MilliwattToDBm(%v) = %v, want %v", tt.mw, got, tt.dbm)
+		}
+	}
+	if !math.IsInf(MilliwattToDBm(0), -1) {
+		t.Error("MilliwattToDBm(0) should be -Inf")
+	}
+}
+
+func TestDBmRoundTripProperty(t *testing.T) {
+	f := func(dbm float64) bool {
+		dbm = math.Mod(dbm, 100)
+		back := MilliwattToDBm(DBmToMilliwatt(dbm))
+		return math.Abs(back-dbm) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathLossMonotonic(t *testing.T) {
+	pl := DefaultPathLoss()
+	prev := pl.LossDB(0.5)
+	for d := 1.0; d <= 50; d += 0.5 {
+		cur := pl.LossDB(d)
+		if cur < prev {
+			t.Fatalf("path loss decreased at d=%v", d)
+		}
+		prev = cur
+	}
+}
+
+func TestPathLossReference(t *testing.T) {
+	pl := PathLoss{RefLossDB: 40, Exponent: 2}
+	if got := pl.LossDB(1); math.Abs(got-40) > 1e-12 {
+		t.Fatalf("LossDB(1m) = %v, want 40", got)
+	}
+	// Exponent 2: +20 dB per decade.
+	if got := pl.LossDB(10); math.Abs(got-60) > 1e-12 {
+		t.Fatalf("LossDB(10m) = %v, want 60", got)
+	}
+	// Clamping below 0.1 m.
+	if pl.LossDB(0.01) != pl.LossDB(0.1) {
+		t.Fatal("distances below 0.1 m must clamp")
+	}
+}
+
+func TestReceivedPower(t *testing.T) {
+	pl := PathLoss{RefLossDB: 40, Exponent: 2}
+	if got := pl.ReceivedPowerDBm(20, 1); math.Abs(got-(-20)) > 1e-12 {
+		t.Fatalf("rx power = %v, want -20", got)
+	}
+}
+
+func TestInterferenceKindString(t *testing.T) {
+	tests := []struct {
+		kind InterferenceKind
+		want string
+	}{
+		{KindNone, "none"},
+		{KindEmuBee, "EmuBee"},
+		{KindZigBee, "ZigBee"},
+		{KindWiFi, "WiFi"},
+		{InterferenceKind(99), "InterferenceKind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestRejectionOrdering(t *testing.T) {
+	// Chip-matched interference is not rejected; plain Wi-Fi is heavily
+	// rejected (bandwidth + processing gain ≈ 25 dB).
+	if KindEmuBee.RejectionDB() != 0 || KindZigBee.RejectionDB() != 0 {
+		t.Fatal("chip-matched interference must have zero rejection")
+	}
+	got := KindWiFi.RejectionDB()
+	if got < 20 || got > 30 {
+		t.Fatalf("WiFi rejection = %v dB, want ~25", got)
+	}
+}
+
+func TestTxPower(t *testing.T) {
+	if KindEmuBee.TxPowerDBm() != WiFiTxPowerDBm {
+		t.Fatal("EmuBee transmits at Wi-Fi power")
+	}
+	if KindZigBee.TxPowerDBm() != ZigBeeTxPowerDBm {
+		t.Fatal("ZigBee jammer transmits at ZigBee power")
+	}
+	if !math.IsInf(KindNone.TxPowerDBm(), -1) {
+		t.Fatal("no jammer has -Inf power")
+	}
+}
+
+func TestSINR(t *testing.T) {
+	// Without interference the SINR is signal - noise.
+	got := SINRdB(-60, math.Inf(-1), -100)
+	if math.Abs(got-40) > 1e-9 {
+		t.Fatalf("SINR = %v, want 40", got)
+	}
+	// Equal interference and noise cost 3 dB.
+	got = SINRdB(-60, -100, -100)
+	if math.Abs(got-37) > 0.05 {
+		t.Fatalf("SINR = %v, want ~37", got)
+	}
+}
+
+func TestQFunc(t *testing.T) {
+	if got := QFunc(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Q(0) = %v, want 0.5", got)
+	}
+	if got := QFunc(1.96); math.Abs(got-0.025) > 1e-3 {
+		t.Fatalf("Q(1.96) = %v, want ~0.025", got)
+	}
+	if QFunc(10) > 1e-20 {
+		t.Fatal("Q(10) should be vanishing")
+	}
+}
+
+func TestChipErrorProbMonotone(t *testing.T) {
+	prev := 1.0
+	for sinr := -20.0; sinr <= 20; sinr += 1 {
+		cur := ChipErrorProb(sinr)
+		if cur > prev {
+			t.Fatalf("chip error rose at %v dB", sinr)
+		}
+		if cur < 0 || cur > 0.5+1e-9 {
+			t.Fatalf("chip error %v out of range", cur)
+		}
+		prev = cur
+	}
+}
+
+func TestSymbolErrorProbEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := SymbolErrorProb(0, 100, rng); got != 0 {
+		t.Fatalf("SER at pc=0 is %v", got)
+	}
+	got := SymbolErrorProb(0.5, 100, rng)
+	if math.Abs(got-15.0/16) > 1e-9 {
+		t.Fatalf("SER at pc=0.5 is %v, want 15/16", got)
+	}
+	// DSSS robustness: 5% chip errors decode almost perfectly.
+	if got := SymbolErrorProb(0.05, 2000, rng); got > 0.01 {
+		t.Fatalf("SER at pc=0.05 is %v, DSSS should fix it", got)
+	}
+	// 30% chip errors break it noticeably.
+	if got := SymbolErrorProb(0.30, 2000, rng); got < 0.05 {
+		t.Fatalf("SER at pc=0.30 is %v, expected substantial", got)
+	}
+}
+
+func TestPER(t *testing.T) {
+	if got := PER(0, 100); got != 0 {
+		t.Fatalf("PER(0) = %v", got)
+	}
+	if got := PER(1, 5); got != 1 {
+		t.Fatalf("PER(1) = %v", got)
+	}
+	if got := PER(0.1, 0); got != 0 {
+		t.Fatalf("PER with 0 symbols = %v", got)
+	}
+	want := 1 - math.Pow(0.99, 10)
+	if got := PER(0.01, 10); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PER = %v, want %v", got, want)
+	}
+}
+
+func TestEvaluateJammingEffectOrdering(t *testing.T) {
+	// Fig. 2(b): at equal jammer distance EmuBee jams hardest, then
+	// genuine ZigBee, then plain Wi-Fi.
+	link := DefaultLink()
+	rng := rand.New(rand.NewSource(2))
+	for _, d := range []float64{2, 5, 8} {
+		emu := link.Evaluate(KindEmuBee, d, 60, rng)
+		zb := link.Evaluate(KindZigBee, d, 60, rng)
+		wf := link.Evaluate(KindWiFi, d, 60, rng)
+		if !(emu.SINRdB < zb.SINRdB && zb.SINRdB < wf.SINRdB) {
+			t.Fatalf("d=%v: SINR ordering wrong: emu=%v zb=%v wifi=%v",
+				d, emu.SINRdB, zb.SINRdB, wf.SINRdB)
+		}
+		if emu.PER < zb.PER-1e-9 {
+			t.Fatalf("d=%v: EmuBee PER %v below ZigBee PER %v", d, emu.PER, zb.PER)
+		}
+	}
+}
+
+func TestEvaluatePERDecreasesWithDistance(t *testing.T) {
+	link := DefaultLink()
+	link.Trials = 1500
+	rng := rand.New(rand.NewSource(3))
+	prev := 2.0
+	for _, d := range []float64{1, 3, 6, 10, 15} {
+		out := link.Evaluate(KindEmuBee, d, 60, rng)
+		if out.PER > prev+0.05 {
+			t.Fatalf("PER increased with distance at %vm: %v -> %v", d, prev, out.PER)
+		}
+		prev = out.PER
+	}
+	// Throughput must mirror PER.
+	near := link.Evaluate(KindEmuBee, 1, 60, rng)
+	far := link.Evaluate(KindEmuBee, 15, 60, rng)
+	if near.ThroughputKbps > far.ThroughputKbps {
+		t.Fatalf("throughput near (%v) > far (%v)", near.ThroughputKbps, far.ThroughputKbps)
+	}
+}
+
+func TestEvaluateNoJammer(t *testing.T) {
+	link := DefaultLink()
+	rng := rand.New(rand.NewSource(4))
+	out := link.Evaluate(KindNone, 1, 60, rng)
+	if out.PER > 0.01 {
+		t.Fatalf("clean-channel PER = %v", out.PER)
+	}
+	if math.Abs(out.ThroughputKbps-60) > 1 {
+		t.Fatalf("clean-channel throughput = %v", out.ThroughputKbps)
+	}
+}
+
+func TestOverlapZigBeeChannels(t *testing.T) {
+	// Wi-Fi channel 1 (2412 MHz) covers ZigBee 11-14 (2405-2420 MHz).
+	got, err := OverlapZigBeeChannels(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{11, 12, 13, 14}
+	if len(got) != len(want) {
+		t.Fatalf("overlap = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("overlap = %v, want %v", got, want)
+		}
+	}
+	// Every 2.4 GHz Wi-Fi channel covers exactly 4 ZigBee channels
+	// except near the band edges.
+	for c := 1; c <= 11; c++ {
+		chs, err := OverlapZigBeeChannels(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chs) != 4 {
+			t.Fatalf("wifi channel %d covers %d zigbee channels, want 4", c, len(chs))
+		}
+	}
+	if _, err := OverlapZigBeeChannels(0); err == nil {
+		t.Fatal("channel 0: expected error")
+	}
+	if _, err := OverlapZigBeeChannels(14); err == nil {
+		t.Fatal("channel 14: expected error")
+	}
+}
+
+func BenchmarkEvaluateLink(b *testing.B) {
+	link := DefaultLink()
+	rng := rand.New(rand.NewSource(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		link.Evaluate(KindEmuBee, 5, 60, rng)
+	}
+}

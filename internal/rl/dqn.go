@@ -1,0 +1,285 @@
+package rl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ctjam/internal/nn"
+)
+
+// DQNConfig parameterizes a DQN learner. The defaults in DefaultDQNConfig
+// mirror the paper's setup: a 4-layer fully-connected network whose input is
+// the last I slots of (state, channel, power) and whose output is one
+// Q-value per (channel, power) action.
+type DQNConfig struct {
+	// StateDim is the observation vector length (3*I in the paper).
+	StateDim int
+	// NumActions is the number of discrete actions (C*PL in the paper).
+	NumActions int
+	// Hidden sizes the two hidden layers.
+	Hidden []int
+	// Gamma is the discount factor.
+	Gamma float64
+	// LearningRate feeds the Adam optimizer.
+	LearningRate float64
+	// BatchSize is the replay minibatch size.
+	BatchSize int
+	// BufferCapacity is the replay buffer size.
+	BufferCapacity int
+	// WarmupSize is the minimum buffer fill before training starts.
+	WarmupSize int
+	// TargetSyncEvery is the number of training steps between target
+	// network synchronizations.
+	TargetSyncEvery int
+	// Epsilon is the exploration schedule.
+	Epsilon EpsilonSchedule
+	// DoubleDQN selects actions with the online network and evaluates
+	// them with the target network (van Hasselt et al.), reducing the
+	// max-operator's overestimation bias. Plain DQN when false.
+	DoubleDQN bool
+	// Seed seeds the network initialization and exploration RNG.
+	Seed int64
+}
+
+// DefaultDQNConfig returns the configuration used throughout the
+// reproduction.
+func DefaultDQNConfig(stateDim, numActions int) DQNConfig {
+	return DQNConfig{
+		StateDim:        stateDim,
+		NumActions:      numActions,
+		Hidden:          []int{48, 48},
+		Gamma:           0.9,
+		LearningRate:    1e-3,
+		BatchSize:       32,
+		BufferCapacity:  20000,
+		WarmupSize:      500,
+		TargetSyncEvery: 250,
+		Epsilon:         EpsilonSchedule{Start: 1.0, End: 0.02, DecaySteps: 8000},
+		Seed:            1,
+	}
+}
+
+// DQN is a Deep Q-Network learner with uniform replay and a target network.
+type DQN struct {
+	cfg    DQNConfig
+	online *nn.Network
+	target *nn.Network
+	opt    *nn.Adam
+	buffer *ReplayBuffer
+	rng    *rand.Rand
+
+	envSteps   int
+	trainSteps int
+}
+
+// NewDQN builds the learner.
+func NewDQN(cfg DQNConfig) (*DQN, error) {
+	if cfg.StateDim <= 0 || cfg.NumActions <= 0 {
+		return nil, fmt.Errorf("rl: invalid dimensions state=%d actions=%d", cfg.StateDim, cfg.NumActions)
+	}
+	if cfg.Gamma < 0 || cfg.Gamma >= 1 {
+		return nil, fmt.Errorf("rl: gamma %v must be in [0,1)", cfg.Gamma)
+	}
+	if cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("rl: batch size %d must be positive", cfg.BatchSize)
+	}
+	if len(cfg.Hidden) == 0 {
+		return nil, errors.New("rl: at least one hidden layer required")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sizes := append([]int{cfg.StateDim}, cfg.Hidden...)
+	sizes = append(sizes, cfg.NumActions)
+	online, err := nn.NewMLP(sizes, rng)
+	if err != nil {
+		return nil, fmt.Errorf("rl: build online network: %w", err)
+	}
+	target, err := online.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("rl: build target network: %w", err)
+	}
+	buffer, err := NewReplayBuffer(cfg.BufferCapacity)
+	if err != nil {
+		return nil, err
+	}
+	return &DQN{
+		cfg:    cfg,
+		online: online,
+		target: target,
+		opt:    nn.NewAdam(cfg.LearningRate),
+		buffer: buffer,
+		rng:    rng,
+	}, nil
+}
+
+// Network exposes the online network (e.g. for serialization).
+func (d *DQN) Network() *nn.Network { return d.online }
+
+// SetNetwork replaces the online and target networks (e.g. after loading a
+// saved model).
+func (d *DQN) SetNetwork(net *nn.Network) error {
+	clone, err := net.Clone()
+	if err != nil {
+		return err
+	}
+	d.online = net
+	d.target = clone
+	return nil
+}
+
+// EnvSteps returns the number of transitions observed.
+func (d *DQN) EnvSteps() int { return d.envSteps }
+
+// TrainSteps returns the number of gradient updates performed.
+func (d *DQN) TrainSteps() int { return d.trainSteps }
+
+// Epsilon returns the current exploration rate.
+func (d *DQN) Epsilon() float64 { return d.cfg.Epsilon.Value(d.envSteps) }
+
+// QValues evaluates the online network on one state.
+func (d *DQN) QValues(state []float64) ([]float64, error) {
+	if len(state) != d.cfg.StateDim {
+		return nil, fmt.Errorf("rl: state has %d dims, want %d", len(state), d.cfg.StateDim)
+	}
+	out, err := d.online.Forward(nn.FromSlice(state))
+	if err != nil {
+		return nil, err
+	}
+	return out.Row(0), nil
+}
+
+// SelectAction picks an action epsilon-greedily. With probability 1-eps it
+// returns argmax Q(s, .); otherwise a uniformly random other action, as in
+// the paper's exploration rule.
+func (d *DQN) SelectAction(state []float64) (int, error) {
+	q, err := d.QValues(state)
+	if err != nil {
+		return 0, err
+	}
+	best := argmax(q)
+	eps := d.Epsilon()
+	if d.rng.Float64() >= eps || d.cfg.NumActions == 1 {
+		return best, nil
+	}
+	// Explore: uniform over the other NumActions-1 actions.
+	a := d.rng.Intn(d.cfg.NumActions - 1)
+	if a >= best {
+		a++
+	}
+	return a, nil
+}
+
+// GreedyAction returns argmax Q(s, .) without exploration.
+func (d *DQN) GreedyAction(state []float64) (int, error) {
+	q, err := d.QValues(state)
+	if err != nil {
+		return 0, err
+	}
+	return argmax(q), nil
+}
+
+// Observe stores a transition and, once warmed up, performs one training
+// step. It returns the training loss (0 when no step was taken).
+func (d *DQN) Observe(t Transition) (float64, error) {
+	if len(t.State) != d.cfg.StateDim || len(t.Next) != d.cfg.StateDim {
+		return 0, fmt.Errorf("rl: transition dims %d/%d, want %d", len(t.State), len(t.Next), d.cfg.StateDim)
+	}
+	if t.Action < 0 || t.Action >= d.cfg.NumActions {
+		return 0, fmt.Errorf("rl: action %d out of range", t.Action)
+	}
+	d.buffer.Push(t)
+	d.envSteps++
+	if d.buffer.Len() < d.cfg.WarmupSize || d.buffer.Len() < d.cfg.BatchSize {
+		return 0, nil
+	}
+	return d.TrainStep()
+}
+
+// TrainStep samples a minibatch and performs one Q-learning update:
+// target = r + gamma * max_a' Q_target(s', a') (or r for terminal
+// transitions); only the taken action's output receives gradient.
+func (d *DQN) TrainStep() (float64, error) {
+	batch, err := d.buffer.Sample(d.cfg.BatchSize, d.rng)
+	if err != nil {
+		return 0, err
+	}
+	n := len(batch)
+	states := nn.NewMatrix(n, d.cfg.StateDim)
+	nexts := nn.NewMatrix(n, d.cfg.StateDim)
+	for i, t := range batch {
+		copy(states.Data[i*d.cfg.StateDim:], t.State)
+		copy(nexts.Data[i*d.cfg.StateDim:], t.Next)
+	}
+
+	nextQ, err := d.target.Forward(nexts)
+	if err != nil {
+		return 0, err
+	}
+	// Double DQN: the online network picks the next action, the target
+	// network scores it.
+	var nextOnline *nn.Matrix
+	if d.cfg.DoubleDQN {
+		nextOnline, err = d.online.Forward(nexts)
+		if err != nil {
+			return 0, err
+		}
+	}
+	pred, err := d.online.Forward(states)
+	if err != nil {
+		return 0, err
+	}
+
+	// Build the TD targets; entries for non-taken actions copy the
+	// prediction so they contribute zero gradient.
+	target := pred.Clone()
+	for i, t := range batch {
+		y := t.Reward
+		if !t.Done {
+			row := nextQ.Data[i*d.cfg.NumActions : (i+1)*d.cfg.NumActions]
+			if d.cfg.DoubleDQN {
+				sel := argmax(nextOnline.Data[i*d.cfg.NumActions : (i+1)*d.cfg.NumActions])
+				y += d.cfg.Gamma * row[sel]
+			} else {
+				best := math.Inf(-1)
+				for _, v := range row {
+					if v > best {
+						best = v
+					}
+				}
+				y += d.cfg.Gamma * best
+			}
+		}
+		target.Set(i, t.Action, y)
+	}
+
+	loss, grad, err := nn.MSELoss(pred, target)
+	if err != nil {
+		return 0, err
+	}
+	d.online.ZeroGrad()
+	if err := d.online.Backward(grad); err != nil {
+		return 0, err
+	}
+	if err := d.opt.Step(d.online.Params()); err != nil {
+		return 0, err
+	}
+
+	d.trainSteps++
+	if d.cfg.TargetSyncEvery > 0 && d.trainSteps%d.cfg.TargetSyncEvery == 0 {
+		if err := d.target.CopyWeightsFrom(d.online); err != nil {
+			return 0, err
+		}
+	}
+	return loss, nil
+}
+
+func argmax(x []float64) int {
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range x {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
