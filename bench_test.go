@@ -5,7 +5,9 @@
 package ctjam_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"ctjam"
@@ -72,6 +74,30 @@ func BenchmarkFig11b(b *testing.B) { benchExperiment(b, "fig11b") }
 
 // Table I metrics at the default parameters.
 func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkParallelSweep measures the parallel execution engine: one
+// representative experiment per family at worker counts 1 (serial path), 4,
+// and all cores. On a multi-core runner the wall-clock time should shrink
+// roughly linearly until the worker count reaches the (mode, x) point count;
+// results are bit-identical across the variants (see
+// experiments.TestSerialParallelEquivalence).
+func BenchmarkParallelSweep(b *testing.B) {
+	for _, id := range []string{"fig6a", "fig11b", "table1"} {
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("%s/workers=%d", id, workers), func(b *testing.B) {
+				opts := experiments.QuickOptions()
+				opts.Workers = workers
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.Run(id, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
 
 // §IV-B training statistics (trains a DQN per iteration).
 func BenchmarkTraining(b *testing.B) { benchExperiment(b, "train") }

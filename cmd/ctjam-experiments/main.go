@@ -3,18 +3,22 @@
 // Usage:
 //
 //	ctjam-experiments [-id fig6a] [-scale paper|quick] [-engine mdp|dqn]
-//	                  [-csv dir] [-list]
+//	                  [-workers N] [-csv dir] [-list]
 //
 // With -id all (the default) every registered experiment runs in order,
 // printing paper-vs-measured tables; -csv additionally writes one CSV per
-// experiment into the given directory.
+// experiment into the given directory. Independent sweep points fan out
+// over -workers goroutines (default: all cores) with bit-identical results
+// at any worker count.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"ctjam/internal/experiments"
 )
@@ -32,9 +36,10 @@ func run(args []string) error {
 		id     = fs.String("id", "all", "experiment id (see -list) or 'all'")
 		scale  = fs.String("scale", "paper", "budget: 'paper' or 'quick'")
 		engine = fs.String("engine", "mdp", "RL FH engine: 'mdp' (exact policy) or 'dqn' (train per point)")
-		csvDir = fs.String("csv", "", "directory to write per-experiment CSV files")
-		list   = fs.Bool("list", false, "list experiment ids and exit")
-		seed   = fs.Int64("seed", 1, "random seed")
+		csvDir  = fs.String("csv", "", "directory to write per-experiment CSV files")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		seed    = fs.Int64("seed", 1, "random seed")
+		workers = fs.Int("workers", 0, "worker goroutines for independent sweep points (0 = all cores, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +73,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown engine %q", *engine)
 	}
 	opts.Seed = *seed
+	opts.Workers = *workers
 
 	ids := experiments.IDs()
 	if *id != "all" {
@@ -80,6 +86,10 @@ func run(args []string) error {
 	}
 	for _, eid := range ids {
 		res, err := experiments.Run(eid, opts)
+		if errors.Is(err, experiments.ErrUnknownExperiment) {
+			return fmt.Errorf("unknown experiment %q; known ids:\n  %s",
+				eid, strings.Join(experiments.IDs(), "\n  "))
+		}
 		if err != nil {
 			return err
 		}

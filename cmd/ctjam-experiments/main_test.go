@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -29,7 +30,20 @@ func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-engine", "quantum"}); err == nil {
 		t.Fatal("expected bad-engine error")
 	}
-	if err := run([]string{"-id", "figZZ", "-scale", "quick"}); err == nil {
+	err := run([]string{"-id", "figZZ", "-scale", "quick"})
+	if err == nil {
 		t.Fatal("expected unknown-id error")
+	}
+	// The unknown-id error should carry usage help: the known ids.
+	if !strings.Contains(err.Error(), "fig6a") || !strings.Contains(err.Error(), "table1") {
+		t.Fatalf("unknown-id error does not list known ids: %v", err)
+	}
+}
+
+func TestRunWorkersFlag(t *testing.T) {
+	for _, w := range []string{"1", "4"} {
+		if err := run([]string{"-id", "fig10a", "-scale", "quick", "-workers", w}); err != nil {
+			t.Fatalf("workers=%s: %v", w, err)
+		}
 	}
 }

@@ -4,7 +4,11 @@
 // Usage:
 //
 //	ctjam-sim [-slots 20000] [-mode max|random] [-lj 100] [-lh 50]
-//	          [-schemes mdp,passive,random,static] [-seed 1]
+//	          [-schemes mdp,passive,random,static] [-workers N] [-seed 1]
+//
+// Schemes are independent (each builds its own policy and environment), so
+// they fan out over -workers goroutines; rows still print in the requested
+// order and are bit-identical at any worker count.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"strings"
 
 	"ctjam"
+	"ctjam/internal/parallel"
 )
 
 func main() {
@@ -32,6 +37,7 @@ func run(args []string) error {
 		lh      = fs.Float64("lh", 50, "loss of a frequency hop (L_H)")
 		schemes = fs.String("schemes", "mdp,passive,random,static", "comma-separated schemes")
 		seed    = fs.Int64("seed", 1, "random seed")
+		workers = fs.Int("workers", 0, "worker goroutines across schemes (0 = all cores, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,31 +49,35 @@ func run(args []string) error {
 	cfg.LossHop = *lh
 	cfg.Seed = *seed
 
+	names := strings.Split(*schemes, ",")
+	// Every scheme builds its own policy and environment from cfg, so the
+	// evaluations are independent; collect into per-scheme slots and print
+	// in the requested order.
+	rows, err := parallel.Map(*workers, len(names), func(p int) (ctjam.Metrics, error) {
+		scheme := ctjam.Scheme(strings.TrimSpace(names[p]))
+		var policy *ctjam.Policy
+		var err error
+		switch scheme {
+		case ctjam.SchemeMDP:
+			policy, err = ctjam.SolveMDP(cfg)
+		case ctjam.SchemeRL:
+			policy, err = ctjam.TrainDQN(cfg, 30000)
+		}
+		if err != nil {
+			return ctjam.Metrics{}, err
+		}
+		return ctjam.Evaluate(cfg, scheme, policy, *slots)
+	})
+	if err != nil {
+		return err
+	}
+
 	fmt.Printf("%-8s %8s %8s %8s %8s %8s %8s\n",
 		"scheme", "ST%", "AH%", "SH%", "AP%", "SP%", "jam%")
-	for _, name := range strings.Split(*schemes, ",") {
-		scheme := ctjam.Scheme(strings.TrimSpace(name))
-		var policy *ctjam.Policy
-		if scheme == ctjam.SchemeMDP {
-			var err error
-			policy, err = ctjam.SolveMDP(cfg)
-			if err != nil {
-				return err
-			}
-		}
-		if scheme == ctjam.SchemeRL {
-			var err error
-			policy, err = ctjam.TrainDQN(cfg, 30000)
-			if err != nil {
-				return err
-			}
-		}
-		m, err := ctjam.Evaluate(cfg, scheme, policy, *slots)
-		if err != nil {
-			return err
-		}
+	for p, name := range names {
+		m := rows[p]
 		fmt.Printf("%-8s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f\n",
-			scheme, 100*m.ST, 100*m.AH, 100*m.SH, 100*m.AP, 100*m.SP, 100*m.JamRate)
+			ctjam.Scheme(strings.TrimSpace(name)), 100*m.ST, 100*m.AH, 100*m.SH, 100*m.AP, 100*m.SP, 100*m.JamRate)
 	}
 	return nil
 }

@@ -14,6 +14,12 @@ func TestRunMDPScheme(t *testing.T) {
 	}
 }
 
+func TestRunParallelSchemes(t *testing.T) {
+	if err := run([]string{"-slots", "500", "-schemes", "passive,random,static", "-workers", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("expected flag error")

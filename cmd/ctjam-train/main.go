@@ -6,7 +6,11 @@
 // Usage:
 //
 //	ctjam-train [-slots 30000] [-mode max|random] [-out model.ctjm]
-//	            [-eval 20000] [-seed 1]
+//	            [-eval 20000] [-compare] [-workers N] [-seed 1]
+//
+// With -compare, the post-training evaluation also runs the passive, random
+// and static baselines; the four independent evaluations fan out over
+// -workers goroutines (default: all cores).
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"time"
 
 	"ctjam"
+	"ctjam/internal/parallel"
 )
 
 func main() {
@@ -30,9 +35,11 @@ func run(args []string) error {
 	var (
 		slots = fs.Int("slots", 30000, "online training slots")
 		mode  = fs.String("mode", "max", "jammer power mode: 'max' or 'random'")
-		out   = fs.String("out", "", "path to save the trained model (optional)")
-		eval  = fs.Int("eval", 20000, "post-training evaluation slots")
-		seed  = fs.Int64("seed", 1, "random seed")
+		out     = fs.String("out", "", "path to save the trained model (optional)")
+		eval    = fs.Int("eval", 20000, "post-training evaluation slots")
+		seed    = fs.Int64("seed", 1, "random seed")
+		compare = fs.Bool("compare", false, "also evaluate the passive/random/static baselines")
+		workers = fs.Int("workers", 0, "worker goroutines for -compare evaluations (0 = all cores, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,12 +78,38 @@ func run(args []string) error {
 			*out, float64(info.Size())/1024)
 	}
 
-	m, err := ctjam.Evaluate(cfg, ctjam.SchemeRL, policy, *eval)
+	if !*compare {
+		m, err := ctjam.Evaluate(cfg, ctjam.SchemeRL, policy, *eval)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("evaluation over %d slots: ST=%.1f%% AH=%.1f%% SH=%.1f%% AP=%.1f%% SP=%.1f%%\n",
+			m.Slots, 100*m.ST, 100*m.AH, 100*m.SH, 100*m.AP, 100*m.SP)
+		fmt.Printf("paper reference at these defaults: ST ~78%%\n")
+		return nil
+	}
+
+	// Each evaluation builds its own environment and the baselines are
+	// stateless constructions, so the four runs are independent; the trained
+	// policy is used by exactly one of them.
+	schemes := []ctjam.Scheme{ctjam.SchemeRL, ctjam.SchemePassive, ctjam.SchemeRandom, ctjam.SchemeStatic}
+	rows, err := parallel.Map(*workers, len(schemes), func(p int) (ctjam.Metrics, error) {
+		pol := policy
+		if schemes[p] != ctjam.SchemeRL {
+			pol = nil
+		}
+		return ctjam.Evaluate(cfg, schemes[p], pol, *eval)
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("evaluation over %d slots: ST=%.1f%% AH=%.1f%% SH=%.1f%% AP=%.1f%% SP=%.1f%%\n",
-		m.Slots, 100*m.ST, 100*m.AH, 100*m.SH, 100*m.AP, 100*m.SP)
-	fmt.Printf("paper reference at these defaults: ST ~78%%\n")
+	fmt.Printf("evaluation over %d slots:\n", *eval)
+	fmt.Printf("%-8s %8s %8s %8s %8s %8s\n", "scheme", "ST%", "AH%", "SH%", "AP%", "SP%")
+	for p, scheme := range schemes {
+		m := rows[p]
+		fmt.Printf("%-8s %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+			scheme, 100*m.ST, 100*m.AH, 100*m.SH, 100*m.AP, 100*m.SP)
+	}
+	fmt.Printf("paper reference at these defaults: RL ST ~78%%\n")
 	return nil
 }

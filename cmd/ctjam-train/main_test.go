@@ -23,6 +23,15 @@ func TestRunSmoke(t *testing.T) {
 	}
 }
 
+func TestRunCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is slow")
+	}
+	if err := run([]string{"-slots", "1500", "-eval", "800", "-compare", "-workers", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("expected flag error")

@@ -207,7 +207,10 @@ func (a *DQNAgent) Decide(prev env.SlotInfo) env.Decision {
 	if !prev.First {
 		a.pushHistory(prev.Outcome, prev.Channel, prev.Power)
 	}
-	action, err := a.dqn.GreedyAction(a.state())
+	// GreedyAction only reads the features, so pass the window directly
+	// instead of snapshotting it with a.state(); Train still snapshots
+	// because replay transitions retain their State/Next slices.
+	action, err := a.dqn.GreedyAction(a.history)
 	if err != nil {
 		return env.Decision{Channel: prev.Channel, Power: 0}
 	}

@@ -106,6 +106,25 @@ func TestFFTMatchesDFT(t *testing.T) {
 	}
 }
 
+func TestTwiddleTable(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 1024} {
+		tw := twiddles(n)
+		if len(tw) != n/2 {
+			t.Fatalf("n=%d: %d twiddles, want %d", n, len(tw), n/2)
+		}
+		for k, w := range tw {
+			want := cmplx.Rect(1, -2*math.Pi*float64(k)/float64(n))
+			if !approxEqualCx(w, want, 1e-15) {
+				t.Fatalf("n=%d twiddle %d = %v, want %v", n, k, w, want)
+			}
+		}
+		// Cached: the same table must come back on the second lookup.
+		if again := twiddles(n); &again[0] != &tw[0] {
+			t.Fatalf("n=%d: twiddle table not cached", n)
+		}
+	}
+}
+
 func TestFFTDoesNotMutateInput(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	x := randVector(r, 32)

@@ -6,11 +6,17 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 )
+
+// ErrUnknownExperiment is returned (wrapped) by Run and Describe for ids
+// that are not in the registry; test with errors.Is.
+var ErrUnknownExperiment = errors.New("experiments: unknown experiment id")
 
 // Engine selects which implementation of the paper's "RL FH" scheme drives
 // the anti-jamming sweeps.
@@ -52,6 +58,13 @@ type Options struct {
 	Trials int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the worker pool used to fan independent sweep /
+	// field-simulator points out across cores. <= 0 means all cores
+	// (runtime.GOMAXPROCS(0)); 1 forces the serial path. Results are
+	// bit-for-bit identical for every worker count: each point derives
+	// its randomness from its own config seed and results are collected
+	// into slices indexed by point.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper's experiment scale.
@@ -63,6 +76,7 @@ func DefaultOptions() Options {
 		FieldSlots: 400,
 		Trials:     400,
 		Seed:       1,
+		Workers:    runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -83,6 +97,9 @@ func (o Options) withFloor() Options {
 	if o.Engine == 0 {
 		o.Engine = EngineMDP
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -96,6 +113,7 @@ func QuickOptions() Options {
 		FieldSlots: 250,
 		Trials:     120,
 		Seed:       1,
+		Workers:    runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -193,7 +211,7 @@ func Describe(id string) (string, error) {
 			return e.desc, nil
 		}
 	}
-	return "", fmt.Errorf("experiments: unknown id %q", id)
+	return "", fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
 }
 
 // Run executes one experiment by id.
@@ -210,7 +228,7 @@ func Run(id string, o Options) (*Result, error) {
 		}
 	}
 	known := strings.Join(IDs(), ", ")
-	return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, known)
+	return nil, fmt.Errorf("%w: %q (known: %s)", ErrUnknownExperiment, id, known)
 }
 
 // Format renders a result as an aligned text table.

@@ -8,6 +8,7 @@ import (
 	"ctjam/internal/env"
 	"ctjam/internal/iot"
 	"ctjam/internal/metrics"
+	"ctjam/internal/parallel"
 )
 
 // fieldRLAgent builds the RL FH agent for the field simulator's channel
@@ -70,22 +71,27 @@ func runFig9b(o Options) (*Result, error) {
 		PaperNote: "Fig. 9(b): negotiation time grows with node count and can reach " +
 			"several seconds when off-channel nodes must be recovered",
 	}
+	// The paper's measurement includes nodes stranded on stale channels;
+	// 0.25 reflects that cold-start condition (see DESIGN.md). Each node
+	// count seeds its own trial RNG, so the points fan out independently.
+	const coldStartOffProb = 0.25
+	const maxNodes = 10
+	trials, err := parallel.Map(o.Workers, maxNodes, func(p int) ([]float64, error) {
+		return sim.NegotiationTimes(p+1, o.Trials, coldStartOffProb)
+	})
+	if err != nil {
+		return nil, err
+	}
 	mean := Series{Name: "mean"}
 	p95 := Series{Name: "p95"}
 	maxS := Series{Name: "max"}
-	// The paper's measurement includes nodes stranded on stale channels;
-	// 0.25 reflects that cold-start condition (see DESIGN.md).
-	const coldStartOffProb = 0.25
-	for nodes := 1; nodes <= 10; nodes++ {
-		xs, err := sim.NegotiationTimes(nodes, o.Trials, coldStartOffProb)
-		if err != nil {
-			return nil, err
-		}
-		mean.X = append(mean.X, float64(nodes))
+	for p, xs := range trials {
+		nodes := float64(p + 1)
+		mean.X = append(mean.X, nodes)
 		mean.Y = append(mean.Y, metrics.Mean(xs))
-		p95.X = append(p95.X, float64(nodes))
+		p95.X = append(p95.X, nodes)
 		p95.Y = append(p95.Y, metrics.Percentile(xs, 0.95))
-		maxS.X = append(maxS.X, float64(nodes))
+		maxS.X = append(maxS.X, nodes)
 		maxS.Y = append(maxS.Y, metrics.Percentile(xs, 1))
 	}
 	res.Series = append(res.Series, mean, p95, maxS)
@@ -105,25 +111,33 @@ func runFig10a(o Options) (*Result, error) {
 		YLabel:    "goodput (pkts/timeslot)",
 		PaperNote: "Fig. 10(a): packets per slot grow from ~148 at 1 s to ~806 at 5 s",
 	}
+	runs, err := fig10Runs(o)
+	if err != nil {
+		return nil, err
+	}
 	s := Series{Name: "goodput"}
-	for _, d := range fig10Slots {
-		cfg := iot.DefaultConfig()
-		cfg.JammerEnabled = false
-		cfg.SlotDuration = d
-		cfg.Seed = o.Seed
-		sim, err := iot.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		run, err := sim.Run(core.Static{}, o.FieldSlots)
-		if err != nil {
-			return nil, err
-		}
+	for i, d := range fig10Slots {
 		s.X = append(s.X, d.Seconds())
-		s.Y = append(s.Y, run.GoodputPktsPerSlot)
+		s.Y = append(s.Y, runs[i].GoodputPktsPerSlot)
 	}
 	res.Series = append(res.Series, s)
 	return res, nil
+}
+
+// fig10Runs executes the per-slot-duration field runs of Fig. 10 in
+// parallel; each duration builds its own seeded simulator.
+func fig10Runs(o Options) ([]iot.RunStats, error) {
+	return parallel.Map(o.Workers, len(fig10Slots), func(p int) (iot.RunStats, error) {
+		cfg := iot.DefaultConfig()
+		cfg.JammerEnabled = false
+		cfg.SlotDuration = fig10Slots[p]
+		cfg.Seed = o.Seed
+		sim, err := iot.New(cfg)
+		if err != nil {
+			return iot.RunStats{}, err
+		}
+		return sim.Run(core.Static{}, o.FieldSlots)
+	})
 }
 
 // runFig10b measures slot utilization versus Tx-slot duration (Fig. 10b).
@@ -134,25 +148,17 @@ func runFig10b(o Options) (*Result, error) {
 		YLabel:    "utilization (%) / effective Tx time (s)",
 		PaperNote: "Fig. 10(b): utilization grows from 91.75% at 1 s to 98.58% at 5 s",
 	}
+	runs, err := fig10Runs(o)
+	if err != nil {
+		return nil, err
+	}
 	util := Series{Name: "utilization %"}
 	eff := Series{Name: "effective Tx time (s)"}
-	for _, d := range fig10Slots {
-		cfg := iot.DefaultConfig()
-		cfg.JammerEnabled = false
-		cfg.SlotDuration = d
-		cfg.Seed = o.Seed
-		sim, err := iot.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		run, err := sim.Run(core.Static{}, o.FieldSlots)
-		if err != nil {
-			return nil, err
-		}
+	for i, d := range fig10Slots {
 		util.X = append(util.X, d.Seconds())
-		util.Y = append(util.Y, 100*run.MeanUtilization)
+		util.Y = append(util.Y, 100*runs[i].MeanUtilization)
 		eff.X = append(eff.X, d.Seconds())
-		eff.Y = append(eff.Y, run.MeanUtilization*d.Seconds())
+		eff.Y = append(eff.Y, runs[i].MeanUtilization*d.Seconds())
 	}
 	res.Series = append(res.Series, util, eff)
 	return res, nil
@@ -194,20 +200,29 @@ func runFig11a(o Options) (*Result, error) {
 		{rl, true},
 		{core.Static{}, false},
 	}
-	measured := Series{Name: "goodput"}
-	for i, spec := range specs {
+	// Each scheme owns its agent and builds its own simulator, so the four
+	// runs are independent and fan out across o.Workers goroutines.
+	goodputs, err := parallel.Map(o.Workers, len(specs), func(p int) (float64, error) {
+		spec := specs[p]
 		runCfg := cfg
 		runCfg.JammerEnabled = spec.jam
 		sim, err := iot.New(runCfg)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		run, err := sim.Run(spec.agent, o.FieldSlots)
 		if err != nil {
-			return nil, fmt.Errorf("scheme %s: %w", spec.agent.Name(), err)
+			return 0, fmt.Errorf("scheme %s: %w", spec.agent.Name(), err)
 		}
+		return run.GoodputPktsPerSlot, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	measured := Series{Name: "goodput"}
+	for i, g := range goodputs {
 		measured.X = append(measured.X, float64(i))
-		measured.Y = append(measured.Y, run.GoodputPktsPerSlot)
+		measured.Y = append(measured.Y, g)
 	}
 	paper := Series{
 		Name: "paper",
@@ -222,10 +237,6 @@ func runFig11a(o Options) (*Result, error) {
 func runFig11b(o Options) (*Result, error) {
 	base := iot.DefaultConfig()
 	base.Seed = o.Seed
-	rl, err := fieldRLAgent(o, base)
-	if err != nil {
-		return nil, err
-	}
 	res := &Result{
 		Title:  "goodput vs jammer timeslot duration (Tx slot fixed at 3 s)",
 		XLabel: "duration of Jx timeslot (s)",
@@ -233,21 +244,32 @@ func runFig11b(o Options) (*Result, error) {
 		PaperNote: "Fig. 11(b): best goodput (~421 pkts/slot) when Jx slot matches the " +
 			"3 s Tx slot; shorter Jx slots find the victim faster and hurt goodput",
 	}
-	s := Series{Name: "goodput"}
-	for _, jamSec := range []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5} {
+	jamSecs := []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
+	// The RL agent is stateful (belief / history tracking), so every point
+	// builds its own copy; construction is deterministic in o.Seed and
+	// sim.Run resets the agent, keeping results identical to a shared,
+	// serially reused agent at any worker count.
+	goodputs, err := parallel.Map(o.Workers, len(jamSecs), func(p int) (float64, error) {
+		rl, err := fieldRLAgent(o, base)
+		if err != nil {
+			return 0, err
+		}
 		cfg := base
-		cfg.JammerSlot = time.Duration(jamSec * float64(time.Second))
+		cfg.JammerSlot = time.Duration(jamSecs[p] * float64(time.Second))
 		sim, err := iot.New(cfg)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		run, err := sim.Run(rl, o.FieldSlots)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		s.X = append(s.X, jamSec)
-		s.Y = append(s.Y, run.GoodputPktsPerSlot)
+		return run.GoodputPktsPerSlot, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	s := Series{Name: "goodput", X: jamSecs, Y: goodputs}
 	res.Series = append(res.Series, s)
 	return res, nil
 }

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSerialParallelEquivalence asserts the determinism contract of the
+// parallel execution engine: for a representative experiment from each
+// family (Fig. 6 sweeps, Fig. 8 sweeps, Fig. 11 field runs, Table I), a
+// serial run (Workers=1) and a parallel run (Workers=8) must produce
+// bit-for-bit identical result series with the same seed.
+func TestSerialParallelEquivalence(t *testing.T) {
+	ids := []string{"fig6a", "fig8b", "fig11a", "table1"}
+	base := Options{
+		Slots:      900,
+		Engine:     EngineMDP,
+		TrainSlots: 1500,
+		FieldSlots: 50,
+		Trials:     60,
+		Seed:       7,
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			serial := base
+			serial.Workers = 1
+			par := base
+			par.Workers = 8
+
+			rs, err := Run(id, serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := Run(id, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rs.Series) != len(rp.Series) {
+				t.Fatalf("series count: serial %d vs parallel %d", len(rs.Series), len(rp.Series))
+			}
+			for i := range rs.Series {
+				if !reflect.DeepEqual(rs.Series[i], rp.Series[i]) {
+					t.Errorf("series %q differs:\nserial:   %+v\nparallel: %+v",
+						rs.Series[i].Name, rs.Series[i], rp.Series[i])
+				}
+			}
+			if !reflect.DeepEqual(rs.XTicks, rp.XTicks) {
+				t.Errorf("xticks differ: %v vs %v", rs.XTicks, rp.XTicks)
+			}
+		})
+	}
+}
+
+// TestWorkersDefaulted ensures a zero-value Workers field falls back to all
+// cores rather than degenerating to a broken pool.
+func TestWorkersDefaulted(t *testing.T) {
+	var o Options
+	o = o.withFloor()
+	if o.Workers < 1 {
+		t.Fatalf("withFloor left Workers = %d", o.Workers)
+	}
+	if DefaultOptions().Workers < 1 || QuickOptions().Workers < 1 {
+		t.Fatal("canned options have no workers")
+	}
+}

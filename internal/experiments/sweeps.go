@@ -7,6 +7,7 @@ import (
 	"ctjam/internal/env"
 	"ctjam/internal/jammer"
 	"ctjam/internal/metrics"
+	"ctjam/internal/parallel"
 )
 
 // metric extracts one Table I rate from run counters.
@@ -168,7 +169,19 @@ func runSweepPoint(o Options, cfg env.Config) (metrics.Counters, error) {
 	return env.Run(e, agent, o.Slots)
 }
 
+// sweepModes are the two jammer power modes every Figs. 6-8 panel compares.
+var sweepModes = []struct {
+	mode jammer.PowerMode
+	name string
+}{
+	{jammer.ModeMax, "jam w/ max pwr"},
+	{jammer.ModeRandom, "jam w/ rand pwr"},
+}
+
 // sweepRunner builds the Runner for one (sweep, metric) panel of Figs. 6-8.
+// Every (mode, x) point is independent — it builds its own env.Config with
+// an explicit seed — so the points fan out over o.Workers goroutines, with
+// each counter written to its own pre-sized slot.
 func sweepRunner(sw sweep, m metric) Runner {
 	return func(o Options) (*Result, error) {
 		res := &Result{
@@ -177,23 +190,25 @@ func sweepRunner(sw sweep, m metric) Runner {
 			YLabel:    m.yAxis,
 			PaperNote: sw.paperNote[m.name],
 		}
-		modes := []struct {
-			mode jammer.PowerMode
-			name string
-		}{
-			{jammer.ModeMax, "jam w/ max pwr"},
-			{jammer.ModeRandom, "jam w/ rand pwr"},
-		}
-		for _, md := range modes {
-			s := Series{Name: md.name}
-			for _, x := range sw.xs {
+		nx := len(sw.xs)
+		counters, err := parallel.Map(o.Workers, len(sweepModes)*nx,
+			func(p int) (metrics.Counters, error) {
+				md, x := sweepModes[p/nx], sw.xs[p%nx]
 				cfg := sw.configure(x, md.mode, o.Seed)
 				c, err := runSweepPoint(o, cfg)
 				if err != nil {
-					return nil, fmt.Errorf("%s=%v mode=%v: %w", sw.name, x, md.mode, err)
+					return metrics.Counters{}, fmt.Errorf("%s=%v mode=%v: %w", sw.name, x, md.mode, err)
 				}
-				s.X = append(s.X, x)
-				s.Y = append(s.Y, m.get(c))
+				return c, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		for mi, md := range sweepModes {
+			s := Series{Name: md.name, X: make([]float64, nx), Y: make([]float64, nx)}
+			for xi, x := range sw.xs {
+				s.X[xi] = x
+				s.Y[xi] = m.get(counters[mi*nx+xi])
 			}
 			res.Series = append(res.Series, s)
 		}
@@ -212,20 +227,18 @@ func runTable1(o Options) (*Result, error) {
 		XTicks:    []string{"ST", "AH", "SH", "AP", "SP"},
 		PaperNote: "Table I defines ST/AH/SH/AP/SP; §IV-C reports ST~78% at the defaults",
 	}
-	for _, md := range []struct {
-		mode jammer.PowerMode
-		name string
-	}{
-		{jammer.ModeMax, "jam w/ max pwr"},
-		{jammer.ModeRandom, "jam w/ rand pwr"},
-	} {
-		cfg := env.DefaultConfig()
-		cfg.JammerMode = md.mode
-		cfg.Seed = o.Seed
-		c, err := runSweepPoint(o, cfg)
-		if err != nil {
-			return nil, err
-		}
+	counters, err := parallel.Map(o.Workers, len(sweepModes),
+		func(p int) (metrics.Counters, error) {
+			cfg := env.DefaultConfig()
+			cfg.JammerMode = sweepModes[p].mode
+			cfg.Seed = o.Seed
+			return runSweepPoint(o, cfg)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for mi, md := range sweepModes {
+		c := counters[mi]
 		res.Series = append(res.Series, Series{
 			Name: md.name,
 			X:    []float64{0, 1, 2, 3, 4},

@@ -52,15 +52,49 @@ func (m *Matrix) Row(r int) []float64 {
 	return out
 }
 
+// RowView returns row r as a subslice sharing m's backing array. Mutations
+// through the view are visible in m, and the view is invalidated by anything
+// that reallocates m's Data.
+func (m *Matrix) RowView(r int) []float64 {
+	return m.Data[r*m.Cols : (r+1)*m.Cols]
+}
+
+// Reshape resizes m to rows x cols in place, reusing the backing array when
+// it has capacity. Element values are unspecified afterwards.
+func (m *Matrix) Reshape(rows, cols int) {
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:n]
+}
+
 // MatMul computes a @ b.
 func MatMul(a, b *Matrix) (*Matrix, error) {
-	if a.Cols != b.Rows {
-		return nil, fmt.Errorf("nn: matmul shape mismatch (%dx%d)@(%dx%d)", a.Rows, a.Cols, b.Rows, b.Cols)
-	}
 	out := NewMatrix(a.Rows, b.Cols)
+	if err := MatMulInto(out, a, b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MatMulInto computes a @ b into dst, reshaping dst (reusing its backing
+// array when large enough). dst must not alias a or b. The kernel walks rows
+// of a in ikj order so every inner loop streams over contiguous memory, and
+// skips zero multiplicands (common with ReLU activations and one-hot state
+// encodings).
+func MatMulInto(dst, a, b *Matrix) error {
+	if a.Cols != b.Rows {
+		return fmt.Errorf("nn: matmul shape mismatch (%dx%d)@(%dx%d)", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	dst.Reshape(a.Rows, b.Cols)
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
 		for k, av := range arow {
 			if av == 0 {
 				continue
@@ -71,7 +105,7 @@ func MatMul(a, b *Matrix) (*Matrix, error) {
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Transpose returns m transposed.

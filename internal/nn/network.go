@@ -27,12 +27,30 @@ type Layer interface {
 	Params() []*Param
 }
 
+// grow returns a matrix of the requested shape, reusing buf's backing array
+// when it has capacity. Element values are unspecified.
+func grow(buf *Matrix, rows, cols int) *Matrix {
+	if buf == nil {
+		return NewMatrix(rows, cols)
+	}
+	buf.Reshape(rows, cols)
+	return buf
+}
+
 // Dense is a fully-connected layer: y = x@W + b.
+//
+// The layer owns reusable scratch buffers for its forward output and
+// backward gradients, so the matrices returned by Forward/Backward are valid
+// only until the layer's next Forward/Backward call (see Network.Forward).
 type Dense struct {
 	W *Param
 	B *Param
 
 	lastInput *Matrix
+	out       *Matrix // forward output scratch
+	dW        *Matrix // weight-gradient scratch
+	dx        *Matrix // input-gradient scratch
+	nzK       []int   // nonzero-gradient column scratch
 }
 
 var _ Layer = (*Dense)(nil)
@@ -50,61 +68,129 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 // Forward computes x@W + b, caching x for the backward pass.
 func (d *Dense) Forward(x *Matrix) (*Matrix, error) {
 	d.lastInput = x
-	y, err := MatMul(x, d.W.Value)
-	if err != nil {
+	d.out = grow(d.out, x.Rows, d.W.Value.Cols)
+	if err := MatMulInto(d.out, x, d.W.Value); err != nil {
 		return nil, fmt.Errorf("dense forward: %w", err)
 	}
-	if err := y.AddRowVector(d.B.Value); err != nil {
+	if err := d.out.AddRowVector(d.B.Value); err != nil {
 		return nil, fmt.Errorf("dense forward: %w", err)
 	}
-	return y, nil
+	return d.out, nil
 }
 
 // Backward accumulates dW = x^T @ g and db = column sums of g, and returns
-// dx = g @ W^T.
+// dx = g @ W^T. Both products are computed by fused kernels that index the
+// untransposed operands directly instead of materializing x^T / W^T; the
+// per-element accumulation order matches the naive transpose-then-multiply
+// formulation, so gradients are bit-for-bit unchanged.
 func (d *Dense) Backward(gradOut *Matrix) (*Matrix, error) {
 	if d.lastInput == nil {
 		return nil, fmt.Errorf("dense backward called before forward")
 	}
-	dW, err := MatMul(d.lastInput.Transpose(), gradOut)
-	if err != nil {
-		return nil, fmt.Errorf("dense backward dW: %w", err)
+	x, w := d.lastInput, d.W.Value
+	if x.Rows != gradOut.Rows || w.Cols != gradOut.Cols {
+		return nil, fmt.Errorf("dense backward: grad shape (%dx%d) vs input %d rows, %d out cols",
+			gradOut.Rows, gradOut.Cols, x.Rows, w.Cols)
 	}
-	for i := range dW.Data {
-		d.W.Grad.Data[i] += dW.Data[i]
+	in, out, batch := x.Cols, w.Cols, x.Rows
+
+	// dW[j] = sum_k x[k][j] * g[k]; computed into scratch first, then added,
+	// to preserve the Grad += (complete sum) accumulation semantics.
+	d.dW = grow(d.dW, in, out)
+	for i := range d.dW.Data {
+		d.dW.Data[i] = 0
 	}
-	for i := 0; i < gradOut.Rows; i++ {
-		for j := 0; j < gradOut.Cols; j++ {
-			d.B.Grad.Data[j] += gradOut.At(i, j)
+	for j := 0; j < in; j++ {
+		dwRow := d.dW.Data[j*out : (j+1)*out]
+		for k := 0; k < batch; k++ {
+			av := x.Data[k*in+j]
+			if av == 0 {
+				continue
+			}
+			gRow := gradOut.Data[k*out : (k+1)*out]
+			for c, gv := range gRow {
+				dwRow[c] += av * gv
+			}
 		}
 	}
-	dx, err := MatMul(gradOut, d.W.Value.Transpose())
-	if err != nil {
-		return nil, fmt.Errorf("dense backward dx: %w", err)
+	for i := range d.dW.Data {
+		d.W.Grad.Data[i] += d.dW.Data[i]
 	}
-	return dx, nil
+
+	bGrad := d.B.Grad.Data
+	for i := 0; i < batch; i++ {
+		gRow := gradOut.Data[i*out : (i+1)*out]
+		for j, gv := range gRow {
+			bGrad[j] += gv
+		}
+	}
+
+	// dx[i][j] = sum_k g[i][k] * W[j][k]: a row of g dotted with a row of W,
+	// so both inner streams are contiguous. Q-learning loss gradients are
+	// mostly zero (one action per sample), so the nonzero columns of each
+	// gradient row are gathered once up front; summation still runs in
+	// ascending k, keeping results bit-identical to the dense dot.
+	d.dx = grow(d.dx, batch, in)
+	if cap(d.nzK) < out {
+		d.nzK = make([]int, 0, out)
+	}
+	for i := 0; i < batch; i++ {
+		gRow := gradOut.Data[i*out : (i+1)*out]
+		dxRow := d.dx.Data[i*in : (i+1)*in]
+		nz := d.nzK[:0]
+		for k, gv := range gRow {
+			if gv != 0 {
+				nz = append(nz, k)
+			}
+		}
+		if len(nz) == out {
+			for j := 0; j < in; j++ {
+				wRow := w.Data[j*out : (j+1)*out]
+				var acc float64
+				for k, gv := range gRow {
+					acc += gv * wRow[k]
+				}
+				dxRow[j] = acc
+			}
+			continue
+		}
+		for j := 0; j < in; j++ {
+			wRow := w.Data[j*out : (j+1)*out]
+			var acc float64
+			for _, k := range nz {
+				acc += gRow[k] * wRow[k]
+			}
+			dxRow[j] = acc
+		}
+	}
+	return d.dx, nil
 }
 
 // Params returns the layer's weight and bias.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
-// ReLU is the rectified-linear activation.
+// ReLU is the rectified-linear activation. Like Dense, it reuses scratch
+// buffers, so returned matrices are valid only until its next call.
 type ReLU struct {
 	mask []bool
+	out  *Matrix // forward output scratch
+	gout *Matrix // backward gradient scratch
 }
 
 var _ Layer = (*ReLU)(nil)
 
 // Forward zeroes negative activations.
 func (r *ReLU) Forward(x *Matrix) (*Matrix, error) {
-	out := x.Clone()
+	r.out = grow(r.out, x.Rows, x.Cols)
+	out := r.out
 	if cap(r.mask) < len(out.Data) {
 		r.mask = make([]bool, len(out.Data))
 	}
 	r.mask = r.mask[:len(out.Data)]
-	for i, v := range out.Data {
+	for i, v := range x.Data {
 		if v > 0 {
 			r.mask[i] = true
+			out.Data[i] = v
 		} else {
 			r.mask[i] = false
 			out.Data[i] = 0
@@ -118,9 +204,12 @@ func (r *ReLU) Backward(gradOut *Matrix) (*Matrix, error) {
 	if len(r.mask) != len(gradOut.Data) {
 		return nil, fmt.Errorf("relu backward: mask size %d vs grad %d", len(r.mask), len(gradOut.Data))
 	}
-	out := gradOut.Clone()
-	for i := range out.Data {
-		if !r.mask[i] {
+	r.gout = grow(r.gout, gradOut.Rows, gradOut.Cols)
+	out := r.gout
+	for i, v := range gradOut.Data {
+		if r.mask[i] {
+			out.Data[i] = v
+		} else {
 			out.Data[i] = 0
 		}
 	}
@@ -158,6 +247,10 @@ func NewMLP(sizes []int, rng *rand.Rand) (*Network, error) {
 }
 
 // Forward runs the network on a batch (rows are samples).
+//
+// The returned matrix is owned by the network's output layer and is only
+// valid until the next Forward call on this network; callers that need the
+// values afterwards must Clone (or copy) them first.
 func (n *Network) Forward(x *Matrix) (*Matrix, error) {
 	cur := x
 	for i, l := range n.Layers {

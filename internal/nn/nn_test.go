@@ -31,6 +31,50 @@ func TestMatMulShapeMismatch(t *testing.T) {
 	}
 }
 
+func TestMatMulIntoReusesBuffer(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3})
+	b := NewMatrix(3, 2)
+	copy(b.Data, []float64{1, 4, 2, 5, 3, 6})
+	dst := NewMatrix(5, 5) // larger buffer; must be reshaped and reused
+	backing := &dst.Data[0]
+	if err := MatMulInto(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Rows != 1 || dst.Cols != 2 {
+		t.Fatalf("dst reshaped to %dx%d, want 1x2", dst.Rows, dst.Cols)
+	}
+	if &dst.Data[0] != backing {
+		t.Fatal("MatMulInto reallocated a sufficiently large buffer")
+	}
+	want := []float64{14, 32}
+	for i := range want {
+		if math.Abs(dst.Data[i]-want[i]) > 1e-12 {
+			t.Fatalf("matmulinto = %v, want %v", dst.Data, want)
+		}
+	}
+	if err := MatMulInto(dst, NewMatrix(2, 3), NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestRowViewSharesBacking(t *testing.T) {
+	m := NewMatrix(3, 4)
+	for i := range m.Data {
+		m.Data[i] = float64(i)
+	}
+	v := m.RowView(1)
+	if len(v) != 4 || v[0] != 4 || v[3] != 7 {
+		t.Fatalf("RowView(1) = %v", v)
+	}
+	v[2] = -1
+	if m.At(1, 2) != -1 {
+		t.Fatal("RowView does not alias the matrix backing array")
+	}
+	if got := m.Row(1); got[2] != -1 {
+		t.Fatalf("Row copy = %v, want the mutated values", got)
+	}
+}
+
 func TestMatMulAssociativityProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))

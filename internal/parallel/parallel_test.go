@@ -1,0 +1,140 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersClamp(t *testing.T) {
+	cores := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, min(cores, 100)},   // 0 -> all cores
+		{-5, 100, min(cores, 100)},  // negative -> all cores
+		{8, 3, 3},                   // more workers than tasks
+		{1, 10, 1},                  // explicit serial
+		{4, 0, 1},                   // no tasks still yields a valid count
+		{3, 10, 3},                  // plain request
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 100
+		var hits [n]atomic.Int32
+		if err := ForEach(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(4, -3, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		out, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestLowestIndexErrorWins(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 20, func(i int) error {
+			if i == 3 || i == 17 {
+				return fmt.Errorf("task %d: %w", i, sentinel)
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want wrapped sentinel", workers, err)
+		}
+		if !strings.Contains(err.Error(), "task 3") {
+			t.Fatalf("workers=%d: err = %v, want the lowest-index failure", workers, err)
+		}
+	}
+}
+
+func TestMapErrorDiscardsResults(t *testing.T) {
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("bad point")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("Map = (%v, %v), want (nil, error)", out, err)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if workers > 1 && !strings.Contains(fmt.Sprint(r), "kaboom") {
+					t.Fatalf("workers=%d: panic value %v lost the original message", workers, r)
+				}
+			}()
+			_ = ForEach(workers, 10, func(i int) error {
+				if i == 7 {
+					panic("kaboom")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+// TestRaceStress hammers the pool with many more tasks than workers writing
+// to adjacent slice slots; run under -race (scripts/check.sh) it proves the
+// indexed-collection pattern is data-race free.
+func TestRaceStress(t *testing.T) {
+	const n = 4096
+	for round := 0; round < 8; round++ {
+		out, err := Map(32, n, func(i int) (int, error) { return i + round, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i+round {
+				t.Fatalf("round %d: out[%d] = %d", round, i, v)
+			}
+		}
+	}
+}

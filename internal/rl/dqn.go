@@ -72,6 +72,12 @@ type DQN struct {
 
 	envSteps   int
 	trainSteps int
+
+	// Reusable buffers for the QValues / TrainStep hot paths.
+	stateBuf *nn.Matrix
+	states   *nn.Matrix
+	nexts    *nn.Matrix
+	nextSel  []int
 }
 
 // NewDQN builds the learner.
@@ -137,16 +143,22 @@ func (d *DQN) TrainSteps() int { return d.trainSteps }
 // Epsilon returns the current exploration rate.
 func (d *DQN) Epsilon() float64 { return d.cfg.Epsilon.Value(d.envSteps) }
 
-// QValues evaluates the online network on one state.
+// QValues evaluates the online network on one state. The returned slice is a
+// view into the network's output buffer and is valid only until the next
+// QValues / SelectAction / Observe call; copy it to keep the values.
 func (d *DQN) QValues(state []float64) ([]float64, error) {
 	if len(state) != d.cfg.StateDim {
 		return nil, fmt.Errorf("rl: state has %d dims, want %d", len(state), d.cfg.StateDim)
 	}
-	out, err := d.online.Forward(nn.FromSlice(state))
+	if d.stateBuf == nil {
+		d.stateBuf = nn.NewMatrix(1, d.cfg.StateDim)
+	}
+	copy(d.stateBuf.Data, state)
+	out, err := d.online.Forward(d.stateBuf)
 	if err != nil {
 		return nil, err
 	}
-	return out.Row(0), nil
+	return out.RowView(0), nil
 }
 
 // SelectAction picks an action epsilon-greedily. With probability 1-eps it
@@ -205,8 +217,13 @@ func (d *DQN) TrainStep() (float64, error) {
 		return 0, err
 	}
 	n := len(batch)
-	states := nn.NewMatrix(n, d.cfg.StateDim)
-	nexts := nn.NewMatrix(n, d.cfg.StateDim)
+	if d.states == nil {
+		d.states = nn.NewMatrix(n, d.cfg.StateDim)
+		d.nexts = nn.NewMatrix(n, d.cfg.StateDim)
+	}
+	states, nexts := d.states, d.nexts
+	states.Reshape(n, d.cfg.StateDim)
+	nexts.Reshape(n, d.cfg.StateDim)
 	for i, t := range batch {
 		copy(states.Data[i*d.cfg.StateDim:], t.State)
 		copy(nexts.Data[i*d.cfg.StateDim:], t.Next)
@@ -217,12 +234,21 @@ func (d *DQN) TrainStep() (float64, error) {
 		return 0, err
 	}
 	// Double DQN: the online network picks the next action, the target
-	// network scores it.
-	var nextOnline *nn.Matrix
+	// network scores it. The online net's output buffer is reused by its
+	// next Forward call, so extract the argmax selections before running
+	// the prediction pass below.
+	var nextSel []int
 	if d.cfg.DoubleDQN {
-		nextOnline, err = d.online.Forward(nexts)
+		nextOnline, err := d.online.Forward(nexts)
 		if err != nil {
 			return 0, err
+		}
+		if cap(d.nextSel) < n {
+			d.nextSel = make([]int, n)
+		}
+		nextSel = d.nextSel[:n]
+		for i := range nextSel {
+			nextSel[i] = argmax(nextOnline.Data[i*d.cfg.NumActions : (i+1)*d.cfg.NumActions])
 		}
 	}
 	pred, err := d.online.Forward(states)
@@ -238,8 +264,7 @@ func (d *DQN) TrainStep() (float64, error) {
 		if !t.Done {
 			row := nextQ.Data[i*d.cfg.NumActions : (i+1)*d.cfg.NumActions]
 			if d.cfg.DoubleDQN {
-				sel := argmax(nextOnline.Data[i*d.cfg.NumActions : (i+1)*d.cfg.NumActions])
-				y += d.cfg.Gamma * row[sel]
+				y += d.cfg.Gamma * row[nextSel[i]]
 			} else {
 				best := math.Inf(-1)
 				for _, v := range row {

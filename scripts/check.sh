@@ -1,0 +1,12 @@
+#!/bin/sh
+# Full verification gate: vet, build, and run the whole test suite under the
+# race detector. The parallel execution engine (internal/parallel and its
+# users in internal/experiments) writes results into shared slices from
+# worker goroutines, so the -race run is the load-bearing part of this check.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
