@@ -1,0 +1,158 @@
+package ctjam
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckpointResumeBitIdentical is the headline guarantee of the
+// checkpoint layer: a training run that is killed partway and resumed from
+// its latest snapshot must be indistinguishable — network bytes and
+// evaluation metrics — from a run that never stopped.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	const slots = 3000
+
+	full, err := TrainDQNWithOptions(cfg, slots, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "train.ckpt")
+	// "Crash" at slot 1700 — deliberately not a checkpoint multiple, so
+	// the final snapshot at StopAfter is what gets resumed.
+	if _, err := TrainDQNWithOptions(cfg, slots, TrainOptions{
+		Checkpoint: ckpt, CheckpointEvery: 500, StopAfter: 1700,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint file missing after interrupted run: %v", err)
+	}
+	resumed, err := TrainDQNWithOptions(cfg, slots, TrainOptions{
+		Checkpoint: ckpt, CheckpointEvery: 500, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b bytes.Buffer
+	if err := full.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("resumed network differs from uninterrupted run")
+	}
+
+	m1, err := Evaluate(cfg, SchemeRL, full, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Evaluate(cfg, SchemeRL, resumed, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatalf("metrics diverge: full %+v resumed %+v", m1, m2)
+	}
+}
+
+// A double interruption exercises resuming from a resumed run.
+func TestCheckpointResumeTwice(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	const slots = 2000
+	full, err := TrainDQNWithOptions(cfg, slots, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "train.ckpt")
+	for _, stop := range []int{700, 1400, 0} {
+		if _, err := TrainDQNWithOptions(cfg, slots, TrainOptions{
+			Checkpoint: ckpt, CheckpointEvery: 300, Resume: true, StopAfter: stop,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resumed, err := TrainDQNWithOptions(cfg, slots, TrainOptions{
+		Checkpoint: ckpt, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := full.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("doubly-resumed network differs from uninterrupted run")
+	}
+}
+
+func TestCheckpointResumeMissingFileStartsFresh(t *testing.T) {
+	cfg := DefaultConfig()
+	ckpt := filepath.Join(t.TempDir(), "nope.ckpt")
+	p, err := TrainDQNWithOptions(cfg, 600, TrainOptions{Checkpoint: ckpt, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ParamCount() == 0 {
+		t.Fatal("fresh run produced no parameters")
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+}
+
+func TestCheckpointLoadRejectsGarbage(t *testing.T) {
+	cfg := DefaultConfig()
+	ckpt := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(ckpt, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainDQNWithOptions(cfg, 600, TrainOptions{Checkpoint: ckpt, Resume: true}); err == nil {
+		t.Fatal("expected error resuming from garbage")
+	}
+}
+
+// Faulted training must checkpoint/resume identically too: injectors are
+// pure functions of (seed, slot), so they need no state of their own.
+func TestCheckpointResumeWithFaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FaultSpec = "burst:p=0.1,power=30;ack:p=0.02"
+	const slots = 1500
+	full, err := TrainDQNWithOptions(cfg, slots, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "train.ckpt")
+	if _, err := TrainDQNWithOptions(cfg, slots, TrainOptions{
+		Checkpoint: ckpt, CheckpointEvery: 400, StopAfter: 900,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := TrainDQNWithOptions(cfg, slots, TrainOptions{
+		Checkpoint: ckpt, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := full.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("faulted resume differs from uninterrupted faulted run")
+	}
+}

@@ -33,9 +33,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ctjam-experiments", flag.ContinueOnError)
 	var (
-		id     = fs.String("id", "all", "experiment id (see -list) or 'all'")
-		scale  = fs.String("scale", "paper", "budget: 'paper' or 'quick'")
-		engine = fs.String("engine", "mdp", "RL FH engine: 'mdp' (exact policy) or 'dqn' (train per point)")
+		id      = fs.String("id", "all", "experiment id (see -list) or 'all'")
+		scale   = fs.String("scale", "paper", "budget: 'paper' or 'quick'")
+		engine  = fs.String("engine", "mdp", "RL FH engine: 'mdp' (exact policy) or 'dqn' (train per point)")
 		csvDir  = fs.String("csv", "", "directory to write per-experiment CSV files")
 		list    = fs.Bool("list", false, "list experiment ids and exit")
 		seed    = fs.Int64("seed", 1, "random seed")

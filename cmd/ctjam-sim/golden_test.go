@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden simulation trace")
+
+// The full CLI scenario — flag parsing through scheme evaluation — must stay
+// bit-identical at a fixed seed. Regenerate with
+//
+//	go test ./cmd/ctjam-sim -update
+func TestGoldenSimScenario(t *testing.T) {
+	rows, err := simulate([]string{
+		"-slots", "2000",
+		"-schemes", "mdp,passive,random,static",
+		"-seed", "3",
+		"-fault", "burst:p=0.1,power=30;ack:p=0.02",
+		"-workers", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "golden", "sim.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden trace (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("simulation drifted from golden trace %s.\ngot:\n%s\nwant:\n%s\nRun with -update if the change is intended.",
+			path, got, want)
+	}
+}

@@ -5,10 +5,14 @@
 //
 //	ctjam-sim [-slots 20000] [-mode max|random] [-lj 100] [-lh 50]
 //	          [-schemes mdp,passive,random,static] [-workers N] [-seed 1]
+//	          [-fault SPEC]
 //
 // Schemes are independent (each builds its own policy and environment), so
 // they fan out over -workers goroutines; rows still print in the requested
 // order and are bit-identical at any worker count.
+//
+// -fault injects deterministic channel faults during evaluation, e.g.
+// "burst:p=0.1,power=30;ack:p=0.02" (see the fault package for the grammar).
 package main
 
 import (
@@ -28,7 +32,16 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// schemeRow is one output row: a scheme name plus its evaluation metrics.
+type schemeRow struct {
+	Scheme  ctjam.Scheme
+	Metrics ctjam.Metrics
+}
+
+// simulate parses args, runs the requested evaluations and returns the rows
+// in request order. Split from run so tests can golden-check the rows
+// without scraping stdout.
+func simulate(args []string) ([]schemeRow, error) {
 	fs := flag.NewFlagSet("ctjam-sim", flag.ContinueOnError)
 	var (
 		slots   = fs.Int("slots", 20000, "evaluation slots")
@@ -37,10 +50,11 @@ func run(args []string) error {
 		lh      = fs.Float64("lh", 50, "loss of a frequency hop (L_H)")
 		schemes = fs.String("schemes", "mdp,passive,random,static", "comma-separated schemes")
 		seed    = fs.Int64("seed", 1, "random seed")
+		faults  = fs.String("fault", "", "fault injection spec, e.g. 'burst:p=0.1,power=30;ack:p=0.02'")
 		workers = fs.Int("workers", 0, "worker goroutines across schemes (0 = all cores, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return nil, err
 	}
 
 	cfg := ctjam.DefaultConfig()
@@ -48,12 +62,13 @@ func run(args []string) error {
 	cfg.LossJam = *lj
 	cfg.LossHop = *lh
 	cfg.Seed = *seed
+	cfg.FaultSpec = *faults
 
 	names := strings.Split(*schemes, ",")
 	// Every scheme builds its own policy and environment from cfg, so the
-	// evaluations are independent; collect into per-scheme slots and print
+	// evaluations are independent; collect into per-scheme slots and return
 	// in the requested order.
-	rows, err := parallel.Map(*workers, len(names), func(p int) (ctjam.Metrics, error) {
+	rows, err := parallel.Map(*workers, len(names), func(p int) (schemeRow, error) {
 		scheme := ctjam.Scheme(strings.TrimSpace(names[p]))
 		var policy *ctjam.Policy
 		var err error
@@ -64,20 +79,31 @@ func run(args []string) error {
 			policy, err = ctjam.TrainDQN(cfg, 30000)
 		}
 		if err != nil {
-			return ctjam.Metrics{}, err
+			return schemeRow{}, err
 		}
-		return ctjam.Evaluate(cfg, scheme, policy, *slots)
+		m, err := ctjam.Evaluate(cfg, scheme, policy, *slots)
+		if err != nil {
+			return schemeRow{}, err
+		}
+		return schemeRow{Scheme: scheme, Metrics: m}, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func run(args []string) error {
+	rows, err := simulate(args)
 	if err != nil {
 		return err
 	}
-
 	fmt.Printf("%-8s %8s %8s %8s %8s %8s %8s\n",
 		"scheme", "ST%", "AH%", "SH%", "AP%", "SP%", "jam%")
-	for p, name := range names {
-		m := rows[p]
+	for _, row := range rows {
+		m := row.Metrics
 		fmt.Printf("%-8s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f\n",
-			ctjam.Scheme(strings.TrimSpace(name)), 100*m.ST, 100*m.AH, 100*m.SH, 100*m.AP, 100*m.SP, 100*m.JamRate)
+			row.Scheme, 100*m.ST, 100*m.AH, 100*m.SH, 100*m.AP, 100*m.SP, 100*m.JamRate)
 	}
 	return nil
 }

@@ -7,10 +7,21 @@
 //
 //	ctjam-train [-slots 30000] [-mode max|random] [-out model.ctjm]
 //	            [-eval 20000] [-compare] [-workers N] [-seed 1]
+//	            [-fault SPEC] [-checkpoint FILE] [-checkpoint-every N]
+//	            [-resume] [-stop-after N]
 //
 // With -compare, the post-training evaluation also runs the passive, random
 // and static baselines; the four independent evaluations fan out over
 // -workers goroutines (default: all cores).
+//
+// -fault injects deterministic channel faults during training and
+// evaluation, e.g. "burst:p=0.1,power=30;ack:p=0.02" (see the fault package
+// for the grammar). -checkpoint writes a crash-safe training checkpoint
+// every -checkpoint-every slots; -resume continues from it (the flags other
+// than -stop-after must match the interrupted run, since the exploration
+// schedule derives from -slots). A resumed run finishes bit-identical to an
+// uninterrupted one. -stop-after exits cleanly once training reaches slot N
+// (absolute, counted from slot 0), mainly for exercising resume.
 package main
 
 import (
@@ -33,27 +44,47 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ctjam-train", flag.ContinueOnError)
 	var (
-		slots = fs.Int("slots", 30000, "online training slots")
-		mode  = fs.String("mode", "max", "jammer power mode: 'max' or 'random'")
+		slots   = fs.Int("slots", 30000, "online training slots")
+		mode    = fs.String("mode", "max", "jammer power mode: 'max' or 'random'")
 		out     = fs.String("out", "", "path to save the trained model (optional)")
 		eval    = fs.Int("eval", 20000, "post-training evaluation slots")
 		seed    = fs.Int64("seed", 1, "random seed")
 		compare = fs.Bool("compare", false, "also evaluate the passive/random/static baselines")
 		workers = fs.Int("workers", 0, "worker goroutines for -compare evaluations (0 = all cores, 1 = serial)")
+		faults  = fs.String("fault", "", "fault injection spec, e.g. 'burst:p=0.1,power=30;ack:p=0.02'")
+		ckpt    = fs.String("checkpoint", "", "path for crash-safe training checkpoints (optional)")
+		every   = fs.Int("checkpoint-every", 1000, "slots between checkpoint writes")
+		resume  = fs.Bool("resume", false, "resume from -checkpoint if it exists")
+		stop    = fs.Int("stop-after", 0, "stop cleanly once training reaches this slot (0 = run to completion)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*resume || *stop > 0) && *ckpt == "" {
+		return fmt.Errorf("-resume and -stop-after require -checkpoint")
 	}
 
 	cfg := ctjam.DefaultConfig()
 	cfg.Jammer = ctjam.JammerMode(*mode)
 	cfg.Seed = *seed
+	cfg.FaultSpec = *faults
 
 	fmt.Printf("training DQN: %d slots, %s-power jammer, seed %d\n", *slots, *mode, *seed)
 	start := time.Now()
-	policy, err := ctjam.TrainDQN(cfg, *slots)
+	policy, err := ctjam.TrainDQNWithOptions(cfg, *slots, ctjam.TrainOptions{
+		Checkpoint:      *ckpt,
+		CheckpointEvery: *every,
+		Resume:          *resume,
+		StopAfter:       *stop,
+	})
 	if err != nil {
 		return err
+	}
+	if *stop > 0 && *stop < *slots {
+		// Interrupted before completing all slots; the checkpoint holds the
+		// progress, and the partially-trained policy is not worth evaluating.
+		fmt.Printf("stopped at slot %d of %d; resume with -resume -checkpoint %s\n", *stop, *slots, *ckpt)
+		return nil
 	}
 	fmt.Printf("trained in %v; model has %d parameters\n",
 		time.Since(start).Round(time.Millisecond), policy.ParamCount())

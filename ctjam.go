@@ -20,11 +20,14 @@ package ctjam
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
+	"ctjam/internal/atomicfile"
 	"ctjam/internal/core"
 	"ctjam/internal/env"
 	"ctjam/internal/experiments"
+	"ctjam/internal/fault"
 	"ctjam/internal/iot"
 	"ctjam/internal/jammer"
 	"ctjam/internal/phy/emulate"
@@ -95,6 +98,12 @@ type Config struct {
 	Jammer JammerMode
 	// Seed makes runs reproducible.
 	Seed int64
+	// FaultSpec optionally layers deterministic fault injection on top of
+	// the jammer, in the internal/fault grammar — e.g.
+	// "burst:p=0.1,power=30;ack:p=0.02". Empty disables injection. Faults
+	// are pure functions of (seed, slot), so they preserve reproducibility
+	// and compose with checkpoint/resume.
+	FaultSpec string
 }
 
 // DefaultConfig returns the paper's simulation parameters (§IV-A1).
@@ -139,6 +148,11 @@ func (c Config) internal() (env.Config, error) {
 	if err := cfg.Validate(); err != nil {
 		return env.Config{}, err
 	}
+	inj, err := fault.Parse(c.FaultSpec, c.Seed)
+	if err != nil {
+		return env.Config{}, err
+	}
+	cfg.Faults = inj
 	return cfg, nil
 }
 
@@ -167,6 +181,36 @@ type Policy struct {
 // environment for trainSlots slots (§IV-B uses >120k transitions; 30k
 // reaches the reported performance in this simulator).
 func TrainDQN(cfg Config, trainSlots int) (*Policy, error) {
+	return TrainDQNWithOptions(cfg, trainSlots, TrainOptions{})
+}
+
+// TrainOptions adds crash-safe checkpointing to DQN training. All fields are
+// optional; the zero value trains straight through without checkpoints.
+type TrainOptions struct {
+	// Checkpoint is the snapshot file path; empty disables checkpointing.
+	// Snapshots are written atomically (temp file + rename), so a crash
+	// mid-write leaves the previous snapshot intact.
+	Checkpoint string
+	// CheckpointEvery is the slot interval between snapshot writes
+	// (default 1000 when Checkpoint is set).
+	CheckpointEvery int
+	// Resume restores the snapshot at Checkpoint before training; a
+	// missing file starts from scratch. The training target (trainSlots)
+	// must match the original run's, since the exploration schedule is
+	// derived from it.
+	Resume bool
+	// StopAfter, when positive, halts training after that many total
+	// slots even though the schedule targets trainSlots — simulating a
+	// crash for resume testing. The returned policy reflects the partial
+	// run.
+	StopAfter int
+}
+
+// TrainDQNWithOptions is TrainDQN with checkpoint/resume support. A run that
+// is killed and resumed from its latest snapshot produces a policy (and
+// downstream metrics) bit-identical to an uninterrupted run with the same
+// configuration and training target.
+func TrainDQNWithOptions(cfg Config, trainSlots int, opts TrainOptions) (*Policy, error) {
 	ecfg, err := cfg.internal()
 	if err != nil {
 		return nil, err
@@ -184,7 +228,47 @@ func TrainDQN(cfg Config, trainSlots int) (*Policy, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := agent.Train(e, trainSlots); err != nil {
+	start := 0
+	var base float64
+	if opts.Resume && opts.Checkpoint != "" {
+		f, err := os.Open(opts.Checkpoint)
+		switch {
+		case err == nil:
+			cur, lerr := agent.LoadTraining(f, e)
+			f.Close()
+			if lerr != nil {
+				return nil, lerr
+			}
+			start, base = cur.Slot, cur.TotalReward
+		case !os.IsNotExist(err):
+			return nil, err
+		}
+	}
+	end := trainSlots
+	if opts.StopAfter > 0 && opts.StopAfter < end {
+		end = opts.StopAfter
+	}
+	if end < start {
+		// The checkpoint is already past the requested stop slot; nothing
+		// to train this invocation.
+		end = start
+	}
+	var hook func(done int, total float64) error
+	if opts.Checkpoint != "" {
+		every := opts.CheckpointEvery
+		if every <= 0 {
+			every = 1000
+		}
+		hook = func(done int, total float64) error {
+			if done%every != 0 && done != end {
+				return nil
+			}
+			return atomicfile.WriteFile(opts.Checkpoint, 0o644, func(w io.Writer) error {
+				return agent.SaveTraining(w, e, core.TrainingCursor{Slot: done, TotalReward: base + total})
+			})
+		}
+	}
+	if _, err := agent.TrainRange(e, start, end, hook); err != nil {
 		return nil, err
 	}
 	return &Policy{agent: agent, dqn: agent}, nil
@@ -379,6 +463,7 @@ func FieldCompare(cfg Config, schemes []Scheme, policy *Policy, opts FieldOption
 	icfg.JamPowers = ecfg.JamPowers
 	icfg.JammerMode = ecfg.JammerMode
 	icfg.Seed = cfg.Seed
+	icfg.Faults = ecfg.Faults
 	if opts.Nodes > 0 {
 		icfg.Nodes = opts.Nodes
 	}

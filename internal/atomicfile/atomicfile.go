@@ -1,0 +1,50 @@
+// Package atomicfile writes files crash-safely: content goes to a temporary
+// file in the destination directory, is flushed to stable storage, and is
+// then renamed over the destination. A reader (or a process restarted after
+// a crash mid-write) sees either the old complete file or the new complete
+// file, never a torn mixture — the property the checkpoint/resume machinery
+// relies on.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by fill.
+func WriteFile(path string, perm os.FileMode, fill func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := fill(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(name)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"ctjam/internal/env"
+	"ctjam/internal/jammer"
+)
+
+// Training checkpoint format: a "CTTC" header followed by the training-loop
+// cursor (slots completed, reward accumulator), the agent's rolling history
+// window, the environment snapshot (RNG, channel, slot and sweeper state)
+// and finally the learner state from rl.DQN.SaveState. Restoring all of it
+// into a same-config agent and environment makes a resumed run bit-identical
+// to one that never stopped.
+
+const (
+	trainMagic   = 0x43545443 // "CTTC"
+	trainVersion = 1
+)
+
+// ErrBadTrainingCheckpoint is returned when decoding an invalid training
+// checkpoint.
+var ErrBadTrainingCheckpoint = errors.New("core: bad training checkpoint")
+
+// TrainingCursor is the loop progress restored by LoadTraining.
+type TrainingCursor struct {
+	// Slot is the number of training slots already completed.
+	Slot int
+	// TotalReward is the reward summed over those slots.
+	TotalReward float64
+}
+
+// SaveTraining writes a complete mid-training snapshot: the loop cursor, the
+// agent's history window, the environment state and the DQN learner state.
+func (a *DQNAgent) SaveTraining(w io.Writer, e *env.Environment, cur TrainingCursor) error {
+	write := func(v any) error { return binary.Write(w, binary.LittleEndian, v) }
+	st := e.State()
+	for _, v := range []any{
+		uint32(trainMagic), uint32(trainVersion),
+		uint64(cur.Slot), math.Float64bits(cur.TotalReward),
+		uint32(len(a.history)),
+	} {
+		if err := write(v); err != nil {
+			return err
+		}
+	}
+	for _, x := range a.history {
+		if err := write(math.Float64bits(x)); err != nil {
+			return err
+		}
+	}
+	for _, v := range []any{
+		st.RNG, uint32(st.Channel), uint64(st.Slot), boolByte(st.Started),
+		boolByte(st.Sweeper.Locked), uint64(int64(st.Sweeper.LockBlock)),
+		uint32(len(st.Sweeper.Remaining)),
+	} {
+		if err := write(v); err != nil {
+			return err
+		}
+	}
+	for _, b := range st.Sweeper.Remaining {
+		if err := write(uint32(b)); err != nil {
+			return err
+		}
+	}
+	return a.dqn.SaveState(w)
+}
+
+// LoadTraining restores a snapshot written by SaveTraining into the agent
+// and environment, both of which must have been built with the same
+// configuration as at save time. It returns the restored loop cursor.
+func (a *DQNAgent) LoadTraining(r io.Reader, e *env.Environment) (TrainingCursor, error) {
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var magic, version uint32
+	var slot, totalBits uint64
+	var histLen uint32
+	for _, v := range []any{&magic, &version, &slot, &totalBits, &histLen} {
+		if err := read(v); err != nil {
+			return TrainingCursor{}, fmt.Errorf("%w: header: %v", ErrBadTrainingCheckpoint, err)
+		}
+	}
+	if magic != trainMagic {
+		return TrainingCursor{}, fmt.Errorf("%w: bad magic %#x", ErrBadTrainingCheckpoint, magic)
+	}
+	if version != trainVersion {
+		return TrainingCursor{}, fmt.Errorf("%w: unsupported version %d", ErrBadTrainingCheckpoint, version)
+	}
+	if slot > 1<<40 {
+		return TrainingCursor{}, fmt.Errorf("%w: implausible slot %d", ErrBadTrainingCheckpoint, slot)
+	}
+	if int(histLen) != 3*a.cfg.HistoryLen {
+		return TrainingCursor{}, fmt.Errorf("%w: history has %d values, agent wants %d",
+			ErrBadTrainingCheckpoint, histLen, 3*a.cfg.HistoryLen)
+	}
+	hist := make([]float64, histLen)
+	for i := range hist {
+		var bits uint64
+		if err := read(&bits); err != nil {
+			return TrainingCursor{}, fmt.Errorf("%w: history: %v", ErrBadTrainingCheckpoint, err)
+		}
+		hist[i] = math.Float64frombits(bits)
+	}
+
+	var envRNG, envSlot, lockBlock uint64
+	var envChannel, nRemaining uint32
+	var started, locked uint8
+	for _, v := range []any{&envRNG, &envChannel, &envSlot, &started, &locked, &lockBlock, &nRemaining} {
+		if err := read(v); err != nil {
+			return TrainingCursor{}, fmt.Errorf("%w: environment: %v", ErrBadTrainingCheckpoint, err)
+		}
+	}
+	if started > 1 || locked > 1 {
+		return TrainingCursor{}, fmt.Errorf("%w: bad flags started=%d locked=%d", ErrBadTrainingCheckpoint, started, locked)
+	}
+	if envSlot > 1<<40 || nRemaining > 1<<16 {
+		return TrainingCursor{}, fmt.Errorf("%w: implausible env slot=%d remaining=%d",
+			ErrBadTrainingCheckpoint, envSlot, nRemaining)
+	}
+	remaining := make([]int, nRemaining)
+	for i := range remaining {
+		var b uint32
+		if err := read(&b); err != nil {
+			return TrainingCursor{}, fmt.Errorf("%w: sweeper: %v", ErrBadTrainingCheckpoint, err)
+		}
+		remaining[i] = int(b)
+	}
+	st := env.State{
+		RNG:     envRNG,
+		Channel: int(envChannel),
+		Slot:    int(envSlot),
+		Started: started == 1,
+		Sweeper: jammer.SweeperState{
+			Remaining: remaining,
+			Locked:    locked == 1,
+			LockBlock: int(int64(lockBlock)),
+		},
+	}
+
+	// Restore the learner first: it validates against the agent's config
+	// and leaves everything untouched on error, so the env and history are
+	// only mutated once the whole stream has decoded.
+	if err := a.dqn.LoadState(r); err != nil {
+		return TrainingCursor{}, err
+	}
+	if err := e.SetState(st); err != nil {
+		return TrainingCursor{}, fmt.Errorf("%w: %v", ErrBadTrainingCheckpoint, err)
+	}
+	a.history = hist
+	return TrainingCursor{Slot: int(slot), TotalReward: math.Float64frombits(totalBits)}, nil
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -28,7 +28,7 @@ type DQNAgentConfig struct {
 	// Hidden sizes the two fully connected hidden layers.
 	Hidden []int
 	// Gamma, LearningRate, BatchSize, BufferCapacity, WarmupSize,
-	// TargetSyncEvery and Epsilon feed the underlying rl.DQN.
+	// TargetSyncEvery, Epsilon and DoubleDQN feed the underlying rl.DQN.
 	Gamma           float64
 	LearningRate    float64
 	BatchSize       int
@@ -36,6 +36,7 @@ type DQNAgentConfig struct {
 	WarmupSize      int
 	TargetSyncEvery int
 	Epsilon         rl.EpsilonSchedule
+	DoubleDQN       bool
 	// Seed drives network init and exploration.
 	Seed int64
 }
@@ -94,6 +95,7 @@ func NewDQNAgent(cfg DQNAgentConfig) (*DQNAgent, error) {
 		WarmupSize:      cfg.WarmupSize,
 		TargetSyncEvery: cfg.TargetSyncEvery,
 		Epsilon:         cfg.Epsilon,
+		DoubleDQN:       cfg.DoubleDQN,
 		Seed:            cfg.Seed,
 	}
 	dqn, err := rl.NewDQN(dcfg)
@@ -167,13 +169,30 @@ func (a *DQNAgent) Train(e *env.Environment, slots int) (float64, error) {
 	if slots <= 0 {
 		return 0, fmt.Errorf("core: training slots %d must be positive", slots)
 	}
+	a.clearHistory()
+	total, err := a.TrainRange(e, 0, slots, nil)
+	if err != nil {
+		return 0, err
+	}
+	return total / float64(slots), nil
+}
+
+// TrainRange runs training slots [start, end) without clearing the history
+// window, so a run resumed from a checkpoint continues exactly where it left
+// off. It returns the summed reward over the range. hook, when non-nil, runs
+// after each slot with the total slots completed (start-relative to slot 0)
+// and the reward summed over this range so far, for periodic checkpoint
+// writes; a hook error aborts the loop.
+func (a *DQNAgent) TrainRange(e *env.Environment, start, end int, hook func(done int, total float64) error) (float64, error) {
+	if start < 0 || end < start {
+		return 0, fmt.Errorf("core: invalid training range [%d, %d)", start, end)
+	}
 	if e.NumChannels() != a.cfg.Channels || e.NumPowers() != a.cfg.Powers {
 		return 0, fmt.Errorf("core: environment (%d ch, %d pw) does not match agent (%d ch, %d pw)",
 			e.NumChannels(), e.NumPowers(), a.cfg.Channels, a.cfg.Powers)
 	}
-	a.clearHistory()
 	var total float64
-	for slot := 0; slot < slots; slot++ {
+	for slot := start; slot < end; slot++ {
 		s := a.state()
 		action, err := a.dqn.SelectAction(s)
 		if err != nil {
@@ -194,8 +213,13 @@ func (a *DQNAgent) Train(e *env.Environment, slots int) (float64, error) {
 		}); err != nil {
 			return 0, err
 		}
+		if hook != nil {
+			if err := hook(slot+1, total); err != nil {
+				return 0, err
+			}
+		}
 	}
-	return total / float64(slots), nil
+	return total, nil
 }
 
 // Reset implements env.Agent (evaluation mode: greedy, no learning).

@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"math/rand"
 
+	"ctjam/internal/fault"
 	"ctjam/internal/jammer"
 	"ctjam/internal/metrics"
+	"ctjam/internal/rng"
 )
 
 // Outcome classifies a slot from the victim's perspective, mirroring the
@@ -70,6 +72,11 @@ type Config struct {
 	LossJam float64
 	// Seed drives all environment randomness.
 	Seed int64
+	// Faults optionally injects channel impairments on top of the jammer
+	// (burst noise, ACK loss); nil disables fault injection. Injectors
+	// are pure functions of (seed, slot), so they preserve determinism
+	// and compose with checkpoint/resume without extra state.
+	Faults fault.Injector
 }
 
 // DefaultConfig returns the paper's simulation parameters: K=16, m=4 (sweep
@@ -148,6 +155,7 @@ type Environment struct {
 	cfg     Config
 	sweeper *jammer.Sweeper
 	rng     *rand.Rand
+	rngSrc  *rng.Source
 	channel int
 	slot    int
 	started bool
@@ -182,7 +190,7 @@ func (e *Environment) Slot() int { return e.slot }
 // Reset reinitializes jammer and victim positions deterministically from
 // the seed.
 func (e *Environment) Reset() {
-	e.rng = rand.New(rand.NewSource(e.cfg.Seed))
+	e.rng, e.rngSrc = rng.New(e.cfg.Seed)
 	sweeper, err := jammer.NewSweeper(e.cfg.Channels, e.cfg.SweepWidth, e.cfg.JamPowers, e.cfg.JammerMode, e.rng)
 	if err != nil {
 		// Config was validated in New; a failure here is a programming
@@ -222,13 +230,32 @@ func (e *Environment) Step(channel, power int) (StepResult, error) {
 		return StepResult{}, fmt.Errorf("env: jammer step: %w", err)
 	}
 
-	outcome := OutcomeSuccess
+	// Fold in injected faults. Burst noise acts as a second interferer:
+	// the victim duels whichever of the jammer and the noise is stronger.
+	// A lost ACK makes a delivered slot observationally identical to a
+	// jammed one from the hub's side, so it degrades the outcome to J.
+	var flt fault.Slot
+	if e.cfg.Faults != nil {
+		e.cfg.Faults.Apply(int64(e.slot), &flt)
+	}
+	interference := 0.0
 	if jammed {
-		if e.cfg.TxPowers[power] >= jamPower {
+		interference = jamPower
+	}
+	if flt.NoisePower > interference {
+		interference = flt.NoisePower
+	}
+
+	outcome := OutcomeSuccess
+	if jammed || flt.NoisePower > 0 {
+		if e.cfg.TxPowers[power] >= interference {
 			outcome = OutcomeJammedSurvived
 		} else {
 			outcome = OutcomeJammed
 		}
+	}
+	if flt.AckLoss && outcome != OutcomeJammed {
+		outcome = OutcomeJammed
 	}
 
 	reward := -e.cfg.TxPowers[power]
@@ -255,6 +282,47 @@ func (e *Environment) Step(channel, power int) (StepResult, error) {
 	e.slot++
 	e.started = true
 	return res, nil
+}
+
+// State is a serializable snapshot of a running Environment, sufficient to
+// resume stepping bit-identically. It captures the shared environment/jammer
+// RNG, the victim position and the sweeper's cycle progress.
+type State struct {
+	RNG     uint64
+	Channel int
+	Slot    int
+	Started bool
+	Sweeper jammer.SweeperState
+}
+
+// State snapshots the environment for checkpointing.
+func (e *Environment) State() State {
+	return State{
+		RNG:     e.rngSrc.State(),
+		Channel: e.channel,
+		Slot:    e.slot,
+		Started: e.started,
+		Sweeper: e.sweeper.State(),
+	}
+}
+
+// SetState restores a snapshot taken with State. The environment must have
+// been built with the same Config.
+func (e *Environment) SetState(st State) error {
+	if st.Channel < 0 || st.Channel >= e.cfg.Channels {
+		return fmt.Errorf("env: state channel %d out of range [0,%d)", st.Channel, e.cfg.Channels)
+	}
+	if st.Slot < 0 {
+		return fmt.Errorf("env: state slot %d must be non-negative", st.Slot)
+	}
+	if err := e.sweeper.SetState(st.Sweeper); err != nil {
+		return err
+	}
+	e.rngSrc.SetState(st.RNG)
+	e.channel = st.Channel
+	e.slot = st.Slot
+	e.started = st.Started
+	return nil
 }
 
 // Decision is the hub's choice for the next slot.

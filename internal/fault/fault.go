@@ -1,0 +1,249 @@
+// Package fault provides deterministic, seed-controlled fault injectors for
+// the jamming environment and the field simulator: burst noise on top of the
+// jammer, receiver-side symbol truncation/corruption, receiver clock / CCA
+// timing drift, and ACK loss.
+//
+// Every injector is a pure function of (seed, slot index): no injector keeps
+// mutable state between slots. This counter-based design has two load-bearing
+// consequences. First, fault schedules are bit-identical at any worker count
+// and across interleavings, like the rest of the experiment harness. Second,
+// fault injection composes with checkpoint/resume for free — a resumed run
+// recomputes exactly the impairments the uninterrupted run would have seen,
+// with nothing extra to snapshot.
+package fault
+
+import "math"
+
+// Slot collects the impairments injectors have scheduled for one time slot.
+// The zero value means "no fault".
+type Slot struct {
+	// NoisePower is the power of a broadband burst-noise interferer active
+	// on the victim's channel this slot (0 = quiet). It duels with the
+	// victim's transmit power exactly like a jamming emission.
+	NoisePower float64
+	// AckLoss marks the slot's acknowledgement channel as lost: data may
+	// reach the hub, but the transmitter never learns it.
+	AckLoss bool
+	// ClockDrift is the fractional receiver clock / CCA timing error for
+	// this slot (+0.02 = timing runs 2% slow, stretching overhead and
+	// per-packet service times).
+	ClockDrift float64
+	// DropSymbols truncates this many trailing symbols from any symbol
+	// stream feeding the ZigBee receiver this slot.
+	DropSymbols int
+	// FlipProb is the per-symbol corruption probability applied to symbol
+	// streams feeding the ZigBee receiver this slot.
+	FlipProb float64
+}
+
+// Injector folds impairments for a slot into a Slot descriptor. Apply must be
+// a pure function of (receiver state, slot): implementations derive all
+// randomness from their configured seed and the slot index.
+type Injector interface {
+	// Name identifies the injector for logs and flag round-trips.
+	Name() string
+	// Apply folds this injector's impairments for the given slot into f.
+	Apply(slot int64, f *Slot)
+}
+
+// Chain applies a sequence of injectors in order.
+type Chain []Injector
+
+// Name implements Injector.
+func (c Chain) Name() string {
+	out := ""
+	for i, inj := range c {
+		if i > 0 {
+			out += "+"
+		}
+		out += inj.Name()
+	}
+	return out
+}
+
+// Apply implements Injector.
+func (c Chain) Apply(slot int64, f *Slot) {
+	for _, inj := range c {
+		inj.Apply(slot, f)
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a high-quality 64-bit mixing
+// function used to derive per-slot randomness from (seed, slot, tag).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hash mixes a seed, a slot counter and a per-injector tag into one 64-bit
+// value. Distinct tags give independent streams from the same seed.
+func hash(seed, slot int64, tag uint64) uint64 {
+	h := splitmix64(uint64(seed) ^ tag)
+	return splitmix64(h ^ splitmix64(uint64(slot)))
+}
+
+// unit maps a 64-bit hash onto [0, 1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// Per-injector tags (arbitrary distinct constants).
+const (
+	tagBurst   = 0xB0457
+	tagAck     = 0xACC
+	tagDrift   = 0xD81F7
+	tagSymbols = 0x57AB5
+)
+
+// BurstNoise schedules broadband noise bursts independent of the jammer. Time
+// is divided into frames of Len slots; each frame is independently a burst
+// with probability Prob, and every slot of a burst frame sees an interferer
+// of the configured Power. Mean burst length is therefore Len slots and the
+// long-run fraction of noisy slots is Prob.
+type BurstNoise struct {
+	// Seed drives the burst schedule.
+	Seed int64
+	// Prob is the per-frame burst probability in [0, 1].
+	Prob float64
+	// Len is the burst frame length in slots (>= 1).
+	Len int
+	// Power is the interferer power during a burst, on the same scale as
+	// the victim's and jammer's power levels.
+	Power float64
+}
+
+// Name implements Injector.
+func (b BurstNoise) Name() string { return "burst" }
+
+// Apply implements Injector.
+func (b BurstNoise) Apply(slot int64, f *Slot) {
+	frameLen := int64(b.Len)
+	if frameLen < 1 {
+		frameLen = 1
+	}
+	frame := slot / frameLen
+	if unit(hash(b.Seed, frame, tagBurst)) < b.Prob && b.Power > f.NoisePower {
+		f.NoisePower = b.Power
+	}
+}
+
+// AckLoss drops each slot's acknowledgement independently with probability
+// Prob.
+type AckLoss struct {
+	// Seed drives the loss schedule.
+	Seed int64
+	// Prob is the per-slot ACK loss probability in [0, 1].
+	Prob float64
+}
+
+// Name implements Injector.
+func (a AckLoss) Name() string { return "ack" }
+
+// Apply implements Injector.
+func (a AckLoss) Apply(slot int64, f *Slot) {
+	if unit(hash(a.Seed, slot, tagAck)) < a.Prob {
+		f.AckLoss = true
+	}
+}
+
+// ClockDrift models a slowly wandering receiver clock / CCA timing error.
+// The drift is piecewise linear: one target value per Period-slot frame is
+// drawn uniformly from [-Max, +Max], and slots interpolate linearly between
+// consecutive frame targets, giving a smooth, bounded, stateless trajectory.
+type ClockDrift struct {
+	// Seed drives the drift trajectory.
+	Seed int64
+	// Max bounds the absolute fractional drift (e.g. 0.02 = ±2%).
+	Max float64
+	// Period is the frame length in slots between fresh drift targets.
+	Period int
+}
+
+// Name implements Injector.
+func (d ClockDrift) Name() string { return "drift" }
+
+// target returns the drift target for one frame.
+func (d ClockDrift) target(frame int64) float64 {
+	return (2*unit(hash(d.Seed, frame, tagDrift)) - 1) * d.Max
+}
+
+// Apply implements Injector.
+func (d ClockDrift) Apply(slot int64, f *Slot) {
+	period := int64(d.Period)
+	if period < 1 {
+		period = 1
+	}
+	frame := slot / period
+	frac := float64(slot%period) / float64(period)
+	drift := d.target(frame)*(1-frac) + d.target(frame+1)*frac
+	f.ClockDrift += drift
+}
+
+// SymbolFaults corrupts the demodulated symbol stream feeding the ZigBee
+// receiver: with probability TruncProb a slot's stream loses up to MaxDrop
+// trailing symbols (sample truncation), and every symbol is independently
+// replaced by a random value with probability FlipProb.
+type SymbolFaults struct {
+	// Seed drives truncation and corruption.
+	Seed int64
+	// TruncProb is the per-slot probability of a truncation event.
+	TruncProb float64
+	// MaxDrop bounds the symbols dropped by one truncation event (>= 1
+	// when TruncProb > 0).
+	MaxDrop int
+	// FlipProb is the per-symbol corruption probability.
+	FlipProb float64
+}
+
+// Name implements Injector.
+func (s SymbolFaults) Name() string { return "symbols" }
+
+// Apply implements Injector.
+func (s SymbolFaults) Apply(slot int64, f *Slot) {
+	h := hash(s.Seed, slot, tagSymbols)
+	if unit(h) < s.TruncProb {
+		maxDrop := s.MaxDrop
+		if maxDrop < 1 {
+			maxDrop = 1
+		}
+		drop := 1 + int(splitmix64(h)%uint64(maxDrop))
+		if drop > f.DropSymbols {
+			f.DropSymbols = drop
+		}
+	}
+	if s.FlipProb > f.FlipProb {
+		f.FlipProb = s.FlipProb
+	}
+}
+
+// CorruptSymbols applies a Slot's receiver-side impairments (truncation, then
+// per-symbol corruption) to a demodulated ZigBee symbol stream (values 0..15)
+// and returns the corrupted copy. The input is never modified. Corruption is
+// deterministic in (seed, slot, position): the i-th symbol of a slot is
+// always flipped — or not — the same way.
+func CorruptSymbols(f Slot, seed, slot int64, stream []uint8) []uint8 {
+	n := len(stream) - f.DropSymbols
+	if n < 0 {
+		n = 0
+	}
+	out := make([]uint8, n)
+	copy(out, stream[:n])
+	if f.FlipProb > 0 {
+		for i := range out {
+			h := hash(seed, slot, tagSymbols^splitmix64(uint64(i)+1))
+			if unit(h) < f.FlipProb {
+				// Replace with a uniformly random *different* symbol so a
+				// corruption always changes the stream.
+				delta := 1 + uint8(splitmix64(h)%15)
+				out[i] = (out[i] + delta) % 16
+			}
+		}
+	}
+	return out
+}
+
+// MeanDrift reports the expected absolute clock drift of a ClockDrift
+// injector over one full period, useful for sanity checks in tests.
+func (d ClockDrift) MeanDrift() float64 { return math.Abs(d.Max) / 2 }

@@ -1,0 +1,144 @@
+package iot
+
+import (
+	"testing"
+	"time"
+
+	"ctjam/internal/env"
+	"ctjam/internal/fault"
+)
+
+// fixedDrift pins the clock drift to a constant so timing effects can be
+// asserted exactly.
+type fixedDrift struct{ d float64 }
+
+func (f fixedDrift) Name() string                 { return "fixed-drift" }
+func (f fixedDrift) Apply(_ int64, s *fault.Slot) { s.ClockDrift = f.d }
+
+func quietConfig() Config {
+	cfg := DefaultConfig()
+	cfg.JammerEnabled = false
+	return cfg
+}
+
+func runSlots(t *testing.T, cfg Config, slots int) RunStats {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := len(cfg.TxPowers) - 1
+	var agg RunStats
+	var overhead time.Duration
+	for i := 0; i < slots; i++ {
+		st, err := s.RunSlot(0, power, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg.Slots++
+		agg.Attempted += st.Attempted
+		agg.Delivered += st.Delivered
+		overhead += st.Overhead
+	}
+	agg.MeanOverhead = overhead / time.Duration(slots)
+	return agg
+}
+
+// A slow clock stretches the per-slot overhead and shrinks the data budget,
+// so fewer packets fit. The random samples are drawn before stretching, so
+// the two runs consume identical RNG streams and compare deterministically.
+func TestClockDriftStretchesTimings(t *testing.T) {
+	clean := runSlots(t, quietConfig(), 50)
+
+	slow := quietConfig()
+	slow.Faults = fixedDrift{d: 0.5}
+	drifted := runSlots(t, slow, 50)
+
+	// Overhead never hits the slot-duration clamp at these timings, so the
+	// stretch factor shows up exactly.
+	want := time.Duration(1.5 * float64(clean.MeanOverhead))
+	if diff := drifted.MeanOverhead - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("drifted overhead %v, want %v (1.5x of %v)", drifted.MeanOverhead, want, clean.MeanOverhead)
+	}
+	if drifted.Delivered >= clean.Delivered {
+		t.Fatalf("50%% slower clock delivered %d >= clean %d", drifted.Delivered, clean.Delivered)
+	}
+	if drifted.Delivered == 0 {
+		t.Fatal("drift alone should not kill all deliveries")
+	}
+}
+
+// Burst noise above the transmit power wipes out every packet even with the
+// jammer off, and the slot classifies as jammed.
+func TestBurstNoiseCausesLosses(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Faults = fault.BurstNoise{Seed: 1, Prob: 1, Len: 1, Power: 1000}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		st, err := s.RunSlot(0, len(cfg.TxPowers)-1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Attempted == 0 {
+			t.Fatalf("slot %d: no attempts", i)
+		}
+		if st.Delivered != 0 {
+			t.Fatalf("slot %d: %d delivered through overwhelming noise", i, st.Delivered)
+		}
+		if st.Outcome != env.OutcomeJammed {
+			t.Fatalf("slot %d: outcome %v, want jammed", i, st.Outcome)
+		}
+	}
+}
+
+// Noise below the transmit power occupies the channel without destroying
+// packets: deliveries continue and the slot reads jammed-but-survived.
+func TestWeakBurstNoiseIsSurvivable(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Faults = fault.BurstNoise{Seed: 1, Prob: 1, Len: 1, Power: cfg.TxPowers[len(cfg.TxPowers)-1] - 1}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		st, err := s.RunSlot(0, len(cfg.TxPowers)-1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Delivered == 0 {
+			t.Fatalf("slot %d: weak noise destroyed all packets", i)
+		}
+		if st.Outcome != env.OutcomeJammedSurvived {
+			t.Fatalf("slot %d: outcome %v, want jammed-survived", i, st.Outcome)
+		}
+	}
+}
+
+// Losing the ACK channel voids every delivery for the slot, regardless of
+// what reached the hub.
+func TestAckLossZeroesDelivered(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Faults = fault.AckLoss{Seed: 1, Prob: 1}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		st, err := s.RunSlot(0, len(cfg.TxPowers)-1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Attempted == 0 {
+			t.Fatalf("slot %d: no attempts", i)
+		}
+		if st.Delivered != 0 {
+			t.Fatalf("slot %d: %d delivered with the ACK channel down", i, st.Delivered)
+		}
+		if st.Outcome != env.OutcomeJammed {
+			t.Fatalf("slot %d: outcome %v, want jammed", i, st.Outcome)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ctjam/internal/env"
+	"ctjam/internal/fault"
 	"ctjam/internal/jammer"
 	"ctjam/internal/mac"
 	"ctjam/internal/metrics"
@@ -43,6 +44,11 @@ type Config struct {
 	JammerMode jammer.PowerMode
 	// Seed drives all randomness.
 	Seed int64
+	// Faults optionally injects impairments per Tx slot: burst noise on
+	// the data channel, ACK loss, and receiver clock / CCA timing drift
+	// that stretches overhead and per-packet service times. nil disables
+	// fault injection.
+	Faults fault.Injector
 }
 
 // DefaultConfig returns the paper's field-experiment setup.
@@ -142,6 +148,7 @@ type Simulator struct {
 	nextJamSlot time.Duration
 	spans       []jamSpan
 	arbiter     *mac.Arbiter
+	slotIdx     int
 }
 
 // New builds a Simulator.
@@ -161,6 +168,7 @@ func (s *Simulator) reset() error {
 	s.now = 0
 	s.nextJamSlot = 0
 	s.spans = nil
+	s.slotIdx = 0
 	if s.cfg.JammerEnabled {
 		sw, err := jammer.NewSweeper(s.cfg.Channels, s.cfg.SweepWidth, s.cfg.JamPowers, s.cfg.JammerMode, s.rng)
 		if err != nil {
@@ -243,6 +251,21 @@ func (s *Simulator) RunSlot(channel, power int, hopped bool) (SlotStats, error) 
 	slotStart := s.now
 	slotEnd := slotStart + s.cfg.SlotDuration
 
+	// Injected faults for this slot: clock drift stretches every timed
+	// operation, burst noise acts as a whole-slot co-channel emission, and
+	// ACK loss voids the slot's deliveries.
+	var flt fault.Slot
+	if s.cfg.Faults != nil {
+		s.cfg.Faults.Apply(int64(s.slotIdx), &flt)
+	}
+	drift := 1 + flt.ClockDrift
+	if drift < 0.5 {
+		drift = 0.5
+	}
+	stretch := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) * drift)
+	}
+
 	// Phase 1: policy inference + polling-mode FH/PC negotiation.
 	overheadDur := s.cfg.Timing.sample(s.cfg.Timing.DQNDecision, s.rng)
 	for n := 0; n < s.cfg.Nodes; n++ {
@@ -251,6 +274,7 @@ func (s *Simulator) RunSlot(channel, power int, hopped bool) (SlotStats, error) 
 			overheadDur += s.cfg.Timing.sampleRecovery(s.rng)
 		}
 	}
+	overheadDur = stretch(overheadDur)
 	if overheadDur > s.cfg.SlotDuration {
 		overheadDur = s.cfg.SlotDuration
 	}
@@ -265,9 +289,9 @@ func (s *Simulator) RunSlot(channel, power int, hopped bool) (SlotStats, error) 
 	txPower := s.cfg.TxPowers[power]
 
 	// Phase 2: data exchange under LBT / CSMA-CA.
-	fixedService := s.cfg.Timing.PacketServiceTime()
-	air := s.cfg.Timing.LBT + s.cfg.Timing.PacketAirtime
-	tail := s.cfg.Timing.AckRTT + s.cfg.Timing.Processing
+	fixedService := stretch(s.cfg.Timing.PacketServiceTime())
+	air := stretch(s.cfg.Timing.LBT + s.cfg.Timing.PacketAirtime)
+	tail := stretch(s.cfg.Timing.AckRTT + s.cfg.Timing.Processing)
 	stats := SlotStats{
 		Overhead: overheadDur,
 		DataTime: slotEnd - dataStart,
@@ -292,14 +316,16 @@ func (s *Simulator) RunSlot(channel, power int, hopped bool) (SlotStats, error) 
 			break
 		}
 		stats.Attempted++
-		lost := false
-		for _, sp := range s.spans {
-			if sp.block != victimBlock || sp.power <= txPower {
-				continue
-			}
-			if overlap(t, t+service-tail, sp.start, sp.end) > 0 {
-				lost = true
-				break
+		lost := flt.NoisePower > txPower
+		if !lost {
+			for _, sp := range s.spans {
+				if sp.block != victimBlock || sp.power <= txPower {
+					continue
+				}
+				if overlap(t, t+service-tail, sp.start, sp.end) > 0 {
+					lost = true
+					break
+				}
 			}
 		}
 		if !lost {
@@ -307,8 +333,14 @@ func (s *Simulator) RunSlot(channel, power int, hopped bool) (SlotStats, error) 
 		}
 		t += service
 	}
+	if flt.AckLoss {
+		// The ACK channel is out for this slot: packets may have reached
+		// the hub, but none count as delivered.
+		stats.Delivered = 0
+	}
 
-	// Classify the slot like the MDP's states.
+	// Classify the slot like the MDP's states. Burst noise occupies the
+	// victim's channel for the whole data phase.
 	var coChannel, strong time.Duration
 	for _, sp := range s.spans {
 		if sp.block != victimBlock {
@@ -323,6 +355,14 @@ func (s *Simulator) RunSlot(channel, power int, hopped bool) (SlotStats, error) 
 			strong += o
 		}
 	}
+	if flt.NoisePower > 0 {
+		if stats.DataTime > coChannel {
+			coChannel = stats.DataTime
+		}
+		if flt.NoisePower > txPower && stats.DataTime > strong {
+			strong = stats.DataTime
+		}
+	}
 	switch {
 	case stats.DataTime > 0 && strong*2 > stats.DataTime:
 		stats.Outcome = env.OutcomeJammed
@@ -331,11 +371,16 @@ func (s *Simulator) RunSlot(channel, power int, hopped bool) (SlotStats, error) 
 	default:
 		stats.Outcome = env.OutcomeSuccess
 	}
+	if flt.AckLoss && stats.Outcome != env.OutcomeJammed {
+		// Without ACKs the hub observes the slot as lost, like env.Step.
+		stats.Outcome = env.OutcomeJammed
+	}
 	if stats.DataTime > 0 {
 		stats.Utilization = float64(stats.DataTime) / float64(s.cfg.SlotDuration)
 	}
 
 	s.now = slotEnd
+	s.slotIdx++
 	return stats, nil
 }
 

@@ -158,6 +158,45 @@ func (s *Sweeper) MaxPower() float64 {
 	return best
 }
 
+// SweeperState is a serializable snapshot of a Sweeper's mutable state. The
+// sweeper's RNG is shared with (and captured by) its owner, so the state here
+// is only the sweep-cycle progress and lock status.
+type SweeperState struct {
+	// Remaining are the blocks not yet scanned in the current cycle.
+	Remaining []int
+	// Locked / LockBlock mirror the lock status.
+	Locked    bool
+	LockBlock int
+}
+
+// State snapshots the sweeper for checkpointing.
+func (s *Sweeper) State() SweeperState {
+	return SweeperState{
+		Remaining: append([]int(nil), s.remaining...),
+		Locked:    s.locked,
+		LockBlock: s.lockBlock,
+	}
+}
+
+// SetState restores a snapshot taken with State.
+func (s *Sweeper) SetState(st SweeperState) error {
+	if len(st.Remaining) > s.blocks {
+		return fmt.Errorf("jammer: state has %d remaining blocks, sweeper has %d", len(st.Remaining), s.blocks)
+	}
+	for _, b := range st.Remaining {
+		if b < 0 || b >= s.blocks {
+			return fmt.Errorf("jammer: state block %d out of range [0,%d)", b, s.blocks)
+		}
+	}
+	if st.Locked && (st.LockBlock < 0 || st.LockBlock >= s.blocks) {
+		return fmt.Errorf("jammer: locked block %d out of range [0,%d)", st.LockBlock, s.blocks)
+	}
+	s.remaining = append(s.remaining[:0], st.Remaining...)
+	s.locked = st.Locked
+	s.lockBlock = st.LockBlock
+	return nil
+}
+
 // Step advances the jammer by one time slot given the channel the victim
 // transmits on this slot. It reports whether the victim's channel is inside
 // the jammed block this slot and, if so, the jamming power used.

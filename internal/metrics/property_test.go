@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCounters builds a Counters by simulating slot events, so every
+// sample satisfies the structural relationships by construction.
+func randomCounters(r *rand.Rand) Counters {
+	var c Counters
+	slots := r.Intn(500)
+	for i := 0; i < slots; i++ {
+		c.Slots++
+		jammed := r.Float64() < 0.4
+		lost := jammed && r.Float64() < 0.6
+		if jammed {
+			c.JammedSlots++
+		}
+		if lost {
+			c.JamLosses++
+		} else {
+			c.Successes++
+		}
+		if r.Float64() < 0.3 {
+			c.Hops++
+			if !lost && r.Float64() < 0.5 {
+				c.UsefulHops++
+			}
+		}
+		if r.Float64() < 0.2 {
+			c.PCSlots++
+			if !lost && r.Float64() < 0.5 {
+				c.UsefulPCs++
+			}
+		}
+	}
+	return c
+}
+
+// Event-derived counters must always satisfy the documented invariants, and
+// Validate must agree.
+func TestCountersInvariantsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		c := randomCounters(r)
+		if c.UsefulHops > c.Hops || c.Hops > c.Slots {
+			t.Fatalf("trial %d: hop ordering violated: %+v", trial, c)
+		}
+		if c.Successes+c.JamLosses > c.Slots {
+			t.Fatalf("trial %d: successes+losses exceed slots: %+v", trial, c)
+		}
+		if c.UsefulPCs > c.PCSlots || c.PCSlots > c.Slots {
+			t.Fatalf("trial %d: PC ordering violated: %+v", trial, c)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("trial %d: event-derived counters rejected: %v (%+v)", trial, err, c)
+		}
+	}
+}
+
+// Add must be commutative and associative with the zero value as identity,
+// since run totals are merged in worker-completion order.
+func TestCountersAddAlgebraProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 100; trial++ {
+		a, b, c := randomCounters(r), randomCounters(r), randomCounters(r)
+
+		ab := a
+		ab.Add(b)
+		ba := b
+		ba.Add(a)
+		if ab != ba {
+			t.Fatalf("trial %d: Add not commutative: %+v != %+v", trial, ab, ba)
+		}
+
+		abc1 := ab
+		abc1.Add(c)
+		bc := b
+		bc.Add(c)
+		abc2 := a
+		abc2.Add(bc)
+		if abc1 != abc2 {
+			t.Fatalf("trial %d: Add not associative", trial)
+		}
+
+		id := a
+		id.Add(Counters{})
+		if id != a {
+			t.Fatalf("trial %d: zero value is not an Add identity", trial)
+		}
+
+		// Merging preserves the invariants.
+		if err := abc1.Validate(); err != nil {
+			t.Fatalf("trial %d: merged counters invalid: %v", trial, err)
+		}
+	}
+}

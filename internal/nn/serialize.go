@@ -135,6 +135,85 @@ func Load(r io.Reader) (*Network, error) {
 	return net, nil
 }
 
+// SaveAdam writes an Adam optimizer's mutable state (step counter and first/
+// second moment estimates) for the given parameter list. The encoding is
+// order-sensitive: LoadAdam must be called with the same parameters in the
+// same order, which Network.Params guarantees for an unchanged architecture.
+func (o *Adam) SaveAdam(w io.Writer, params []*Param) error {
+	write := func(v any) error { return binary.Write(w, binary.LittleEndian, v) }
+	if err := write(uint64(o.step)); err != nil {
+		return err
+	}
+	if err := write(uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		n := len(p.Value.Data)
+		if err := write(uint32(n)); err != nil {
+			return err
+		}
+		for _, moments := range [2]map[*Param][]float64{o.m, o.v} {
+			buf := moments[p] // nil before the first Step: encode zeros
+			for i := 0; i < n; i++ {
+				var x float64
+				if buf != nil {
+					x = buf[i]
+				}
+				if err := write(math.Float64bits(x)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// LoadAdam restores state written by SaveAdam into o, keyed to params (same
+// list, same order as at save time).
+func (o *Adam) LoadAdam(r io.Reader, params []*Param) error {
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var step uint64
+	if err := read(&step); err != nil {
+		return fmt.Errorf("%w: adam step: %v", ErrBadModelFile, err)
+	}
+	if step > 1<<40 {
+		return fmt.Errorf("%w: implausible adam step %d", ErrBadModelFile, step)
+	}
+	var nParams uint32
+	if err := read(&nParams); err != nil {
+		return fmt.Errorf("%w: adam param count: %v", ErrBadModelFile, err)
+	}
+	if int(nParams) != len(params) {
+		return fmt.Errorf("%w: adam state has %d params, want %d", ErrBadModelFile, nParams, len(params))
+	}
+	m := make(map[*Param][]float64, len(params))
+	v := make(map[*Param][]float64, len(params))
+	for _, p := range params {
+		var n uint32
+		if err := read(&n); err != nil {
+			return fmt.Errorf("%w: adam moment size: %v", ErrBadModelFile, err)
+		}
+		if int(n) != len(p.Value.Data) {
+			return fmt.Errorf("%w: adam moment has %d values, param has %d", ErrBadModelFile, n, len(p.Value.Data))
+		}
+		for _, dst := range [2]map[*Param][]float64{m, v} {
+			buf := make([]float64, n)
+			for i := range buf {
+				var bits uint64
+				if err := read(&bits); err != nil {
+					return fmt.Errorf("%w: adam moment: %v", ErrBadModelFile, err)
+				}
+				buf[i] = math.Float64frombits(bits)
+			}
+			dst[p] = buf
+		}
+	}
+	o.step = int(step)
+	o.m = m
+	o.v = v
+	return nil
+}
+
 // SerializedSize returns the byte size of the Save output without writing
 // it anywhere.
 func (n *Network) SerializedSize() int {

@@ -14,12 +14,12 @@ func TestWorkersClamp(t *testing.T) {
 	cases := []struct {
 		requested, n, want int
 	}{
-		{0, 100, min(cores, 100)},   // 0 -> all cores
-		{-5, 100, min(cores, 100)},  // negative -> all cores
-		{8, 3, 3},                   // more workers than tasks
-		{1, 10, 1},                  // explicit serial
-		{4, 0, 1},                   // no tasks still yields a valid count
-		{3, 10, 3},                  // plain request
+		{0, 100, min(cores, 100)},  // 0 -> all cores
+		{-5, 100, min(cores, 100)}, // negative -> all cores
+		{8, 3, 3},                  // more workers than tasks
+		{1, 10, 1},                 // explicit serial
+		{4, 0, 1},                  // no tasks still yields a valid count
+		{3, 10, 3},                 // plain request
 	}
 	for _, c := range cases {
 		if got := Workers(c.requested, c.n); got != c.want {

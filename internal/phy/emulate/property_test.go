@@ -1,0 +1,53 @@
+package emulate
+
+import (
+	"math/rand"
+	"testing"
+
+	"ctjam/internal/phy/zigbee"
+)
+
+// The emulation path must stay decodable for arbitrary ZigBee symbol
+// content, not just the fixed vector of the end-to-end test: random symbol
+// sequences, both scrambler seeds used elsewhere in the suite, and both
+// alpha modes. The paper's claim is statistical (few symbol errors), so the
+// bound is a rate, but the run is fixed-seed and therefore deterministic.
+func TestEmulateRandomSymbolsDecodableProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	m, err := zigbee.NewModulator(zigbee.DefaultSamplesPerChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 6; trial++ {
+		symbols := make([]uint8, 8+r.Intn(17))
+		for i := range symbols {
+			symbols[i] = uint8(r.Intn(zigbee.SymbolCount))
+		}
+		designed := designedZigBee(t, symbols)
+
+		for _, optimize := range []bool{false, true} {
+			e, err := New(WithAlphaOptimization(optimize), WithScramblerSeed(uint8(1+r.Intn(127))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Emulate(designed)
+			if err != nil {
+				t.Fatalf("trial %d optimize=%v: %v", trial, optimize, err)
+			}
+			got, err := m.DemodulateSymbols(res.Wave, len(symbols))
+			if err != nil {
+				t.Fatalf("trial %d optimize=%v: demodulate: %v", trial, optimize, err)
+			}
+			errs := 0
+			for i := range symbols {
+				if got[i] != symbols[i] {
+					errs++
+				}
+			}
+			if frac := float64(errs) / float64(len(symbols)); frac > 0.25 {
+				t.Fatalf("trial %d optimize=%v: symbol error rate %.2f (%d/%d)",
+					trial, optimize, frac, errs, len(symbols))
+			}
+		}
+	}
+}

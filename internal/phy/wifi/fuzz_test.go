@@ -1,0 +1,86 @@
+package wifi
+
+import "testing"
+
+// fuzzWave interprets fuzz bytes as interleaved int8 I/Q pairs scaled to
+// roughly unit amplitude, capped so one input cannot demand unbounded work.
+func fuzzWave(data []byte) []complex128 {
+	n := len(data) / 2
+	if n > 4096 {
+		n = 4096
+	}
+	wave := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		re := float64(int8(data[2*i])) / 32
+		im := float64(int8(data[2*i+1])) / 32
+		wave[i] = complex(re, im)
+	}
+	return wave
+}
+
+// FuzzWifiPPDUDecode runs the receive-side PPDU path — preamble detection,
+// SIGNAL decode and full payload demodulation — over arbitrary waveforms.
+// None of it may panic, and anything accepted must satisfy the documented
+// output contracts.
+func FuzzWifiPPDUDecode(f *testing.F) {
+	tx, err := NewTransmitter(0x5D)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ppdu, err := tx.BuildPPDU([]uint8{0xA5, 0x3C, 0x7E})
+	if err != nil {
+		f.Fatal(err)
+	}
+	sample := make([]byte, 0, 2*len(ppdu))
+	for _, c := range ppdu {
+		sample = append(sample, byte(int8(real(c)*32)), byte(int8(imag(c)*32)))
+	}
+	f.Add(sample)
+	f.Add([]byte{})
+	f.Add(make([]byte, 2*SymbolLen))
+	f.Add(sample[:40])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wave := fuzzWave(data)
+
+		start, metric := DetectSTF(wave)
+		if start < 0 || start > len(wave) {
+			t.Fatalf("DetectSTF start %d outside waveform of %d samples", start, len(wave))
+		}
+		if metric < 0 || metric > 1+1e-9 {
+			t.Fatalf("DetectSTF metric %v outside [0,1]", metric)
+		}
+
+		if len(wave) >= SymbolLen {
+			if n, err := DecodeSignal(wave[:SymbolLen]); err == nil && (n < 0 || n > 4095) {
+				t.Fatalf("DecodeSignal accepted length %d", n)
+			}
+		}
+
+		var seed uint8 = 1
+		if len(data) > 0 && data[0]&0x7F != 0 {
+			seed = data[0]
+		}
+		rx, err := NewReceiver(seed)
+		if err != nil {
+			t.Fatalf("seed %#x rejected: %v", seed, err)
+		}
+		nSym := len(wave) / SymbolLen
+		if nSym == 0 {
+			return
+		}
+		nBits := nSym*BitsPerOFDMSymbolPayload - (ConstraintLength - 1)
+		bits, err := rx.Receive(wave[:nSym*SymbolLen], nSym, nBits)
+		if err != nil {
+			return
+		}
+		if len(bits) != nBits {
+			t.Fatalf("Receive returned %d bits, want %d", len(bits), nBits)
+		}
+		for i, b := range bits {
+			if b > 1 {
+				t.Fatalf("bit %d = %d, not 0/1", i, b)
+			}
+		}
+	})
+}

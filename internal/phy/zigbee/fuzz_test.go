@@ -1,0 +1,46 @@
+package zigbee
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzZigbeeFrameDecode drives DecodeFrame with arbitrary byte streams. The
+// decoder must never panic, and any stream it accepts must describe a
+// well-formed frame: bounded payload, matching FCS, and a re-encode that
+// decodes back to the same payload.
+func FuzzZigbeeFrameDecode(f *testing.F) {
+	valid, err := EncodeFrame([]byte("hello zigbee"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0x00, SFD})                   // SFD with nothing after it
+	f.Add([]byte{0x00, SFD, 0x02, 0x00, 0x00}) // empty payload, zero FCS
+	f.Add(valid[:len(valid)-1])                // truncated FCS
+	corrupt := append([]byte(nil), valid...)
+	corrupt[8] ^= 0x40
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		payload, err := DecodeFrame(stream)
+		if err != nil {
+			return
+		}
+		if len(payload)+FCSLen > MaxPayload {
+			t.Fatalf("accepted %d-byte payload (max %d)", len(payload), MaxPayload-FCSLen)
+		}
+		reenc, err := EncodeFrame(payload)
+		if err != nil {
+			t.Fatalf("re-encode of accepted payload failed: %v", err)
+		}
+		again, err := DecodeFrame(reenc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded frame failed: %v", err)
+		}
+		if !bytes.Equal(again, payload) {
+			t.Fatalf("roundtrip changed payload: %x != %x", again, payload)
+		}
+	})
+}

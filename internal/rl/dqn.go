@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"ctjam/internal/nn"
+	"ctjam/internal/rng"
 )
 
 // DQNConfig parameterizes a DQN learner. The defaults in DefaultDQNConfig
@@ -69,6 +70,7 @@ type DQN struct {
 	opt    *nn.Adam
 	buffer *ReplayBuffer
 	rng    *rand.Rand
+	rngSrc *rng.Source
 
 	envSteps   int
 	trainSteps int
@@ -94,10 +96,10 @@ func NewDQN(cfg DQNConfig) (*DQN, error) {
 	if len(cfg.Hidden) == 0 {
 		return nil, errors.New("rl: at least one hidden layer required")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	random, src := rng.New(cfg.Seed)
 	sizes := append([]int{cfg.StateDim}, cfg.Hidden...)
 	sizes = append(sizes, cfg.NumActions)
-	online, err := nn.NewMLP(sizes, rng)
+	online, err := nn.NewMLP(sizes, random)
 	if err != nil {
 		return nil, fmt.Errorf("rl: build online network: %w", err)
 	}
@@ -115,7 +117,8 @@ func NewDQN(cfg DQNConfig) (*DQN, error) {
 		target: target,
 		opt:    nn.NewAdam(cfg.LearningRate),
 		buffer: buffer,
-		rng:    rng,
+		rng:    random,
+		rngSrc: src,
 	}, nil
 }
 

@@ -1,0 +1,78 @@
+package rl
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointLoad feeds arbitrary bytes to the learner-state decoder. It
+// must never panic, and after a rejected load the learner must remain fully
+// usable; after an accepted load its state must round-trip.
+func FuzzCheckpointLoad(f *testing.F) {
+	mk := func() *DQN {
+		cfg := DefaultDQNConfig(4, 3)
+		cfg.Hidden = []int{8}
+		cfg.BufferCapacity = 32
+		cfg.WarmupSize = 4
+		cfg.BatchSize = 2
+		cfg.Seed = 11
+		d, err := NewDQN(cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return d
+	}
+
+	seedDQN := mk()
+	for i := 0; i < 12; i++ {
+		if _, err := seedDQN.Observe(Transition{
+			State:  []float64{float64(i), 0, 1, 0},
+			Action: i % 3,
+			Reward: float64(i % 5),
+			Next:   []float64{0, float64(i), 0, 1},
+		}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var valid bytes.Buffer
+	if err := seedDQN.SaveState(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("CTDQ"))
+	f.Add(valid.Bytes()[:50])
+	flipped := append([]byte(nil), valid.Bytes()...)
+	flipped[40] ^= 0xFF
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := mk()
+		if err := d.LoadState(bytes.NewReader(data)); err == nil {
+			// Accepted: the state must round-trip byte for byte.
+			var out bytes.Buffer
+			if err := d.SaveState(&out); err != nil {
+				t.Fatalf("re-save after accepted load: %v", err)
+			}
+			var check bytes.Buffer
+			d2 := mk()
+			if err := d2.LoadState(bytes.NewReader(out.Bytes())); err != nil {
+				t.Fatalf("reload of saved state: %v", err)
+			}
+			if err := d2.SaveState(&check); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), check.Bytes()) {
+				t.Fatal("accepted state does not round-trip")
+			}
+		}
+		// Accepted or not, the learner must still work.
+		a, err := d.SelectAction([]float64{0.5, -0.5, 0.25, 0})
+		if err != nil {
+			t.Fatalf("SelectAction after load: %v", err)
+		}
+		if a < 0 || a >= 3 {
+			t.Fatalf("action %d out of range", a)
+		}
+	})
+}

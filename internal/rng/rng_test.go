@@ -1,0 +1,101 @@
+package rng
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The whole point of the package: the stream must be bit-identical to the
+// standard library's, for every rand.Rand method the codebase uses.
+func TestStreamMatchesStdlib(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -3} {
+		got, _ := New(seed)
+		want := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2000; i++ {
+			switch i % 5 {
+			case 0:
+				if g, w := got.Int63(), want.Int63(); g != w {
+					t.Fatalf("seed %d draw %d: Int63 %d != %d", seed, i, g, w)
+				}
+			case 1:
+				if g, w := got.Float64(), want.Float64(); g != w {
+					t.Fatalf("seed %d draw %d: Float64 %v != %v", seed, i, g, w)
+				}
+			case 2:
+				if g, w := got.Intn(97), want.Intn(97); g != w {
+					t.Fatalf("seed %d draw %d: Intn %d != %d", seed, i, g, w)
+				}
+			case 3:
+				if g, w := got.Uint64(), want.Uint64(); g != w {
+					t.Fatalf("seed %d draw %d: Uint64 %d != %d", seed, i, g, w)
+				}
+			case 4:
+				if g, w := got.NormFloat64(), want.NormFloat64(); g != w {
+					t.Fatalf("seed %d draw %d: NormFloat64 %v != %v", seed, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	r, src := New(99)
+	for i := 0; i < 1234; i++ {
+		r.Int63()
+	}
+	state := src.State()
+	want := make([]float64, 100)
+	for i := range want {
+		want[i] = r.Float64()
+	}
+
+	r2, src2 := New(99)
+	_ = r2
+	src2.SetState(state)
+	got := rand.New(src2)
+	for i := range want {
+		if g := got.Float64(); g != want[i] {
+			t.Fatalf("draw %d after restore: %v != %v", i, g, want[i])
+		}
+	}
+	if src2.State() == state {
+		t.Fatal("state did not advance after drawing")
+	}
+}
+
+func TestSeedResetsPosition(t *testing.T) {
+	_, src := New(5)
+	src.Int63()
+	src.Int63()
+	if src.State() != 2 {
+		t.Fatalf("state = %d, want 2", src.State())
+	}
+	src.Seed(5)
+	if src.State() != 0 {
+		t.Fatalf("state after Seed = %d, want 0", src.State())
+	}
+}
+
+// A stream that mixed Int63 and Uint64 draws must still restore exactly:
+// the count tracks generator steps, not call sites.
+func TestMixedDrawRestore(t *testing.T) {
+	_, src := New(8)
+	for i := 0; i < 50; i++ {
+		if i%3 == 0 {
+			src.Uint64()
+		} else {
+			src.Int63()
+		}
+	}
+	state := src.State()
+	want := []uint64{src.Uint64(), uint64(src.Int63()), src.Uint64()}
+
+	_, src2 := New(8)
+	src2.SetState(state)
+	got := []uint64{src2.Uint64(), uint64(src2.Int63()), src2.Uint64()}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw %d after mixed-call restore: %d != %d", i, got[i], want[i])
+		}
+	}
+}

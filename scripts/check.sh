@@ -1,8 +1,10 @@
 #!/bin/sh
-# Full verification gate: vet, build, and run the whole test suite under the
-# race detector. The parallel execution engine (internal/parallel and its
-# users in internal/experiments) writes results into shared slices from
-# worker goroutines, so the -race run is the load-bearing part of this check.
+# Full verification gate: vet, build, run the whole test suite under the
+# race detector, smoke the fuzz targets, and enforce a coverage floor on the
+# PHY and learner packages. The parallel execution engine (internal/parallel
+# and its users in internal/experiments) writes results into shared slices
+# from worker goroutines, so the -race run is the load-bearing part of this
+# check.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -10,3 +12,25 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Fuzz smoke: a few seconds per target catches shallow panics and keeps the
+# committed corpora replaying. Longer campaigns are manual:
+#   go test -run '^$' -fuzz FuzzZigbeeFrameDecode -fuzztime 5m ./internal/phy/zigbee
+go test -run '^$' -fuzz FuzzZigbeeFrameDecode -fuzztime 5s ./internal/phy/zigbee
+go test -run '^$' -fuzz FuzzWifiPPDUDecode -fuzztime 5s ./internal/phy/wifi
+go test -run '^$' -fuzz FuzzCheckpointLoad -fuzztime 5s ./internal/rl
+
+# Coverage floor: the signal-processing and learner packages back every
+# experiment, so they must stay well tested.
+go test -cover ./internal/phy/... ./internal/rl | awk '
+	{ print }
+	/^(FAIL|---)/ { bad = 1 }
+	/coverage:/ {
+		for (i = 1; i < NF; i++) if ($i == "coverage:") {
+			p = $(i + 1)
+			sub(/%/, "", p)
+			if (p + 0 < 70) bad = 1
+		}
+	}
+	END { if (bad) { print "coverage gate failed (test failure or below 70% floor)"; exit 1 } }
+'
