@@ -1,0 +1,264 @@
+// Command ctjam-serve serves a trained anti-jamming policy over HTTP/JSON:
+// an inference daemon for deployments where many ZigBee links share one
+// trained Q network. It loads a checkpoint in any of the repo's formats — a
+// bare network (ctjam-train -out), a DQN learner state, or a full training
+// checkpoint (ctjam-train -checkpoint) — snapshots just the online weights,
+// and answers single and batched /v1/decide queries. SIGHUP (or POST
+// /v1/reload) hot-swaps the snapshot from the same path without dropping
+// in-flight requests, so a training run can keep publishing checkpoints
+// under the server.
+//
+// Endpoints:
+//
+//	POST /v1/decide  {"state":[...]} or {"states":[[...],...]}, optional
+//	                 "qvalues":true — returns {"action":n} / {"actions":[...]}
+//	GET  /v1/healthz liveness plus the loaded model's dimensions
+//	GET  /v1/stats   request/state/error counters and mean latency
+//	POST /v1/reload  re-read the model file (same as SIGHUP)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"ctjam/internal/core"
+	"ctjam/internal/rl"
+)
+
+// maxBody bounds /v1/decide request bodies (a 4096-state batch at paper
+// dimensions is ~2 MB of JSON).
+const maxBody = 8 << 20
+
+type server struct {
+	modelPath string
+	snap      atomic.Pointer[rl.Snapshot]
+
+	reloads      atomic.Int64
+	requests     atomic.Int64
+	statesServed atomic.Int64
+	errCount     atomic.Int64
+	latencyNS    atomic.Int64
+}
+
+// newServer loads the checkpoint at modelPath and builds the service.
+func newServer(modelPath string) (*server, error) {
+	s := &server{modelPath: modelPath}
+	if err := s.reload(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// reload re-reads the model file and atomically swaps the snapshot in;
+// in-flight requests keep using the snapshot they already loaded.
+func (s *server) reload() error {
+	f, err := os.Open(s.modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap, err := core.SnapshotFromCheckpoint(f)
+	if err != nil {
+		return fmt.Errorf("load %s: %w", s.modelPath, err)
+	}
+	s.snap.Store(snap)
+	s.reloads.Add(1)
+	return nil
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/decide", s.handleDecide)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/reload", s.handleReload)
+	return mux
+}
+
+type decideRequest struct {
+	// State is a single observation of StateDim features...
+	State []float64 `json:"state,omitempty"`
+	// ...or States stacks a batch of them; exactly one must be set.
+	States [][]float64 `json:"states,omitempty"`
+	// QValues asks for the full Q rows alongside the argmax actions.
+	QValues bool `json:"qvalues,omitempty"`
+}
+
+type decideResponse struct {
+	Action  *int        `json:"action,omitempty"`
+	Actions []int       `json:"actions,omitempty"`
+	Q       [][]float64 `json:"q,omitempty"`
+}
+
+func (s *server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	start := time.Now()
+	s.requests.Add(1)
+	var req decideRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	single := req.State != nil
+	if single == (req.States != nil) {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf(`exactly one of "state" and "states" must be set`))
+		return
+	}
+	states := req.States
+	if single {
+		states = [][]float64{req.State}
+	}
+
+	snap := s.snap.Load()
+	dim := snap.StateDim()
+	flat := make([]float64, 0, len(states)*dim)
+	for i, st := range states {
+		if len(st) != dim {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("state %d has %d features, model wants %d", i, len(st), dim))
+			return
+		}
+		flat = append(flat, st...)
+	}
+	if len(flat) == 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+
+	var resp decideResponse
+	actions := make([]int, len(states))
+	if req.QValues {
+		// One forward serves both: take the argmax from the Q rows.
+		na := snap.NumActions()
+		q := make([]float64, len(states)*na)
+		if err := snap.QValuesBatch(q, flat); err != nil {
+			s.fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Q = make([][]float64, len(states))
+		for i := range states {
+			row := q[i*na : (i+1)*na]
+			resp.Q[i] = row
+			actions[i] = argmax(row)
+		}
+	} else if err := snap.GreedyBatch(actions, flat); err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	if single {
+		resp.Action = &actions[0]
+	} else {
+		resp.Actions = actions
+	}
+	s.statesServed.Add(int64(len(states)))
+	s.latencyNS.Add(time.Since(start).Nanoseconds())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// argmax matches rl's tie-breaking: the first maximal action wins.
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"model":       s.modelPath,
+		"state_dim":   snap.StateDim(),
+		"num_actions": snap.NumActions(),
+		"params":      snap.ParamCount(),
+		"reloads":     s.reloads.Load(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	requests := s.requests.Load()
+	var meanLatencyUS float64
+	if requests > 0 {
+		meanLatencyUS = float64(s.latencyNS.Load()) / float64(requests) / 1e3
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requests":        requests,
+		"states_served":   s.statesServed.Load(),
+		"errors":          s.errCount.Load(),
+		"reloads":         s.reloads.Load(),
+		"mean_latency_us": meanLatencyUS,
+	})
+}
+
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	if err := s.reload(); err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"reloads": s.reloads.Load()})
+}
+
+func (s *server) fail(w http.ResponseWriter, code int, err error) {
+	s.errCount.Add(1)
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("write response: %v", err)
+	}
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	model := flag.String("model", "", "policy checkpoint to serve (CTJM model, CTDQ learner state or CTTC training checkpoint)")
+	flag.Parse()
+	if *model == "" {
+		fmt.Fprintln(os.Stderr, "ctjam-serve: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	srv, err := newServer(*model)
+	if err != nil {
+		log.Fatalf("ctjam-serve: %v", err)
+	}
+	snap := srv.snap.Load()
+	log.Printf("serving %s (%d features -> %d actions, %d params) on %s",
+		*model, snap.StateDim(), snap.NumActions(), snap.ParamCount(), *addr)
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := srv.reload(); err != nil {
+				log.Printf("reload failed (keeping previous snapshot): %v", err)
+			} else {
+				log.Printf("reloaded %s", *model)
+			}
+		}
+	}()
+
+	h := &http.Server{Addr: *addr, Handler: srv.handler(), ReadHeaderTimeout: 5 * time.Second}
+	if err := h.ListenAndServe(); err != nil {
+		log.Fatalf("ctjam-serve: %v", err)
+	}
+}

@@ -7,8 +7,8 @@
 //
 //	ctjam-train [-slots 30000] [-mode max|random] [-out model.ctjm]
 //	            [-eval 20000] [-compare] [-workers N] [-seed 1]
-//	            [-fault SPEC] [-checkpoint FILE] [-checkpoint-every N]
-//	            [-resume] [-stop-after N]
+//	            [-fault SPEC] [-checkpoint FILE|DIR] [-checkpoint-every N]
+//	            [-keep N] [-resume] [-stop-after N]
 //
 // With -compare, the post-training evaluation also runs the passive, random
 // and static baselines; the four independent evaluations fan out over
@@ -22,6 +22,11 @@
 // schedule derives from -slots). A resumed run finishes bit-identical to an
 // uninterrupted one. -stop-after exits cleanly once training reaches slot N
 // (absolute, counted from slot 0), mainly for exercising resume.
+//
+// With -keep N, -checkpoint names a directory instead of a file: each write
+// becomes a new generation (ckpt-000123.ctdq, named by training slot), only
+// the newest N are retained, and -resume starts from the newest generation
+// that loads cleanly — a corrupt newest file falls back to the one before it.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"time"
 
 	"ctjam"
+	"ctjam/internal/atomicfile"
 	"ctjam/internal/parallel"
 )
 
@@ -54,6 +60,7 @@ func run(args []string) error {
 		faults  = fs.String("fault", "", "fault injection spec, e.g. 'burst:p=0.1,power=30;ack:p=0.02'")
 		ckpt    = fs.String("checkpoint", "", "path for crash-safe training checkpoints (optional)")
 		every   = fs.Int("checkpoint-every", 1000, "slots between checkpoint writes")
+		keep    = fs.Int("keep", 0, "retain the newest N checkpoint generations in the -checkpoint directory (0 = single file)")
 		resume  = fs.Bool("resume", false, "resume from -checkpoint if it exists")
 		stop    = fs.Int("stop-after", 0, "stop cleanly once training reaches this slot (0 = run to completion)")
 	)
@@ -62,6 +69,12 @@ func run(args []string) error {
 	}
 	if (*resume || *stop > 0) && *ckpt == "" {
 		return fmt.Errorf("-resume and -stop-after require -checkpoint")
+	}
+	if *keep < 0 {
+		return fmt.Errorf("-keep must be >= 0")
+	}
+	if *keep > 0 && *ckpt == "" {
+		return fmt.Errorf("-keep requires -checkpoint")
 	}
 
 	cfg := ctjam.DefaultConfig()
@@ -74,6 +87,7 @@ func run(args []string) error {
 	policy, err := ctjam.TrainDQNWithOptions(cfg, *slots, ctjam.TrainOptions{
 		Checkpoint:      *ckpt,
 		CheckpointEvery: *every,
+		Keep:            *keep,
 		Resume:          *resume,
 		StopAfter:       *stop,
 	})
@@ -90,15 +104,9 @@ func run(args []string) error {
 		time.Since(start).Round(time.Millisecond), policy.ParamCount())
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		if err := policy.Save(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		// Atomic write: ctjam-serve may be watching this path for hot reload,
+		// and must never observe a torn model file.
+		if err := atomicfile.WriteFile(*out, 0o644, policy.Save); err != nil {
 			return err
 		}
 		info, err := os.Stat(*out)

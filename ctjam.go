@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"ctjam/internal/atomicfile"
+	"ctjam/internal/ckpt"
 	"ctjam/internal/core"
 	"ctjam/internal/env"
 	"ctjam/internal/experiments"
@@ -32,6 +33,7 @@ import (
 	"ctjam/internal/jammer"
 	"ctjam/internal/phy/emulate"
 	"ctjam/internal/phy/zigbee"
+	pol "ctjam/internal/policy"
 )
 
 // JammerMode selects the attacker's power strategy.
@@ -204,6 +206,14 @@ type TrainOptions struct {
 	// crash for resume testing. The returned policy reflects the partial
 	// run.
 	StopAfter int
+	// Keep, when positive, switches Checkpoint from a single snapshot file
+	// to a rotating generational store: Checkpoint then names a DIRECTORY
+	// into which each snapshot is written as ckpt-NNNNNN.ctdq (named by
+	// training slot), retaining only the newest Keep generations. Resume
+	// scans the directory newest-to-oldest and falls back to an older
+	// generation when the newest is corrupt, so a crash mid-write (or a
+	// truncated file) costs at most one checkpoint interval.
+	Keep int
 }
 
 // TrainDQNWithOptions is TrainDQN with checkpoint/resume support. A run that
@@ -220,17 +230,56 @@ func TrainDQNWithOptions(cfg Config, trainSlots int, opts TrainOptions) (*Policy
 	if trainSlots > 0 {
 		acfg.Epsilon.DecaySteps = trainSlots * 2 / 3
 	}
-	agent, err := core.NewDQNAgent(acfg)
+	build := func() (*core.DQNAgent, *env.Environment, error) {
+		agent, err := core.NewDQNAgent(acfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		e, err := env.New(ecfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return agent, e, nil
+	}
+	agent, e, err := build()
 	if err != nil {
 		return nil, err
 	}
-	e, err := env.New(ecfg)
-	if err != nil {
-		return nil, err
-	}
+	rotating := opts.Checkpoint != "" && opts.Keep > 0
 	start := 0
 	var base float64
-	if opts.Resume && opts.Checkpoint != "" {
+	switch {
+	case opts.Resume && rotating:
+		entries, err := ckpt.List(opts.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		loaded := false
+		var lastErr error
+		for i := len(entries) - 1; i >= 0 && !loaded; i-- {
+			f, err := os.Open(entries[i].Path)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			cur, lerr := agent.LoadTraining(f, e)
+			f.Close()
+			if lerr != nil {
+				// Corrupt generation: rebuild the agent/env pair in case
+				// the partial decode touched them, and fall back.
+				lastErr = lerr
+				if agent, e, err = build(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			start, base = cur.Slot, cur.TotalReward
+			loaded = true
+		}
+		if !loaded && len(entries) > 0 {
+			return nil, fmt.Errorf("ctjam: no usable checkpoint in %s: %w", opts.Checkpoint, lastErr)
+		}
+	case opts.Resume && opts.Checkpoint != "":
 		f, err := os.Open(opts.Checkpoint)
 		switch {
 		case err == nil:
@@ -259,13 +308,32 @@ func TrainDQNWithOptions(cfg Config, trainSlots int, opts TrainOptions) (*Policy
 		if every <= 0 {
 			every = 1000
 		}
-		hook = func(done int, total float64) error {
-			if done%every != 0 && done != end {
-				return nil
-			}
-			return atomicfile.WriteFile(opts.Checkpoint, 0o644, func(w io.Writer) error {
+		save := func(path string, done int, total float64) error {
+			return atomicfile.WriteFile(path, 0o644, func(w io.Writer) error {
 				return agent.SaveTraining(w, e, core.TrainingCursor{Slot: done, TotalReward: base + total})
 			})
+		}
+		if rotating {
+			if err := os.MkdirAll(opts.Checkpoint, 0o755); err != nil {
+				return nil, err
+			}
+			hook = func(done int, total float64) error {
+				if done%every != 0 && done != end {
+					return nil
+				}
+				if err := save(ckpt.Path(opts.Checkpoint, done), done, total); err != nil {
+					return err
+				}
+				_, err := ckpt.GC(opts.Checkpoint, opts.Keep)
+				return err
+			}
+		} else {
+			hook = func(done int, total float64) error {
+				if done%every != 0 && done != end {
+					return nil
+				}
+				return save(opts.Checkpoint, done, total)
+			}
 		}
 	}
 	if _, err := agent.TrainRange(e, start, end, hook); err != nil {
@@ -386,6 +454,93 @@ func Evaluate(cfg Config, scheme Scheme, policy *Policy, slots int) (Metrics, er
 		ST: c.ST(), AH: c.AH(), SH: c.SH(), AP: c.AP(), SP: c.SP(),
 		JamRate: c.JamRate(), Slots: c.Slots,
 	}, nil
+}
+
+// schemeFor builds the shared batched inference scheme for a Scheme name —
+// the policy/encoder split behind EvaluateBatch and ctjam-serve. Trained
+// schemes snapshot their current parameters: further training of the source
+// policy does not affect the returned scheme.
+func schemeFor(scheme Scheme, policy *Policy, ecfg env.Config) (*pol.Scheme, error) {
+	switch scheme {
+	case SchemeRL:
+		if policy == nil || policy.dqn == nil {
+			return nil, fmt.Errorf("ctjam: scheme %q needs a DQN policy (TrainDQN)", scheme)
+		}
+		return policy.dqn.Scheme()
+	case SchemeMDP:
+		if policy == nil {
+			return nil, fmt.Errorf("ctjam: scheme %q needs a policy (SolveMDP)", scheme)
+		}
+		a, ok := policy.agent.(*core.MDPAgent)
+		if !ok {
+			return nil, fmt.Errorf("ctjam: scheme %q needs a policy from SolveMDP", scheme)
+		}
+		return a.Scheme(), nil
+	case SchemeQLearning:
+		if policy == nil {
+			return nil, fmt.Errorf("ctjam: scheme %q needs a policy (TrainQLearning)", scheme)
+		}
+		a, ok := policy.agent.(*core.QAgent)
+		if !ok {
+			return nil, fmt.Errorf("ctjam: scheme %q needs a policy from TrainQLearning", scheme)
+		}
+		return a.Scheme()
+	case SchemePassive:
+		return pol.PassiveFHScheme(ecfg.Channels, ecfg.SweepWidth, core.DefaultJamThreshold)
+	case SchemeRandom:
+		return pol.RandomFHScheme(ecfg.Channels, ecfg.SweepWidth, len(ecfg.TxPowers))
+	case SchemeStatic:
+		return pol.StaticScheme(), nil
+	default:
+		return nil, fmt.Errorf("ctjam: unknown scheme %q", scheme)
+	}
+}
+
+// EvaluateBatch evaluates one scheme across k independent environments in
+// lockstep: environment i runs the configuration with Seed = cfg.Seed + i,
+// and each slot gathers all k encoded states into a single batched policy
+// inference. The results are bit-identical to k serial Evaluate calls with
+// those seeds, at any k — only the wall-clock cost changes.
+func EvaluateBatch(cfg Config, scheme Scheme, policy *Policy, k, slots int) ([]Metrics, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("ctjam: batch size %d must be positive", k)
+	}
+	ecfg, err := cfg.internal()
+	if err != nil {
+		return nil, err
+	}
+	s, err := schemeFor(scheme, policy, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	envs := make([]*env.Environment, k)
+	for i := range envs {
+		ci := cfg
+		ci.Seed = cfg.Seed + int64(i)
+		ecfgI, err := ci.internal()
+		if err != nil {
+			return nil, err
+		}
+		if envs[i], err = env.New(ecfgI); err != nil {
+			return nil, err
+		}
+	}
+	b, err := s.NewBatch(k)
+	if err != nil {
+		return nil, err
+	}
+	counters, err := env.BatchRun(envs, b, slots)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Metrics, k)
+	for i, c := range counters {
+		out[i] = Metrics{
+			ST: c.ST(), AH: c.AH(), SH: c.SH(), AP: c.AP(), SP: c.SP(),
+			JamRate: c.JamRate(), Slots: c.Slots,
+		}
+	}
+	return out, nil
 }
 
 // MDPAnalysis exposes the §III-B structural analysis of the solved

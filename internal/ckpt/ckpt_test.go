@@ -1,0 +1,87 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func touch(t *testing.T, path string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListSortsAndFilters(t *testing.T) {
+	dir := t.TempDir()
+	touch(t, Path(dir, 3000))
+	touch(t, Path(dir, 1000))
+	touch(t, Path(dir, 2000))
+	touch(t, filepath.Join(dir, "notes.txt"))
+	touch(t, filepath.Join(dir, "ckpt-abc.ctdq"))
+	if err := os.Mkdir(filepath.Join(dir, "ckpt-9.ctdq"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3: %+v", len(entries), entries)
+	}
+	for i, want := range []int{1000, 2000, 3000} {
+		if entries[i].Slot != want {
+			t.Fatalf("entry %d slot = %d, want %d", i, entries[i].Slot, want)
+		}
+		if entries[i].Path != Path(dir, want) {
+			t.Fatalf("entry %d path = %q", i, entries[i].Path)
+		}
+	}
+}
+
+func TestListMissingDirIsEmpty(t *testing.T) {
+	entries, err := List(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("got %d entries, want 0", len(entries))
+	}
+}
+
+func TestGCKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	for _, slot := range []int{1000, 2000, 3000, 4000, 5000} {
+		touch(t, Path(dir, slot))
+	}
+	removed, err := GC(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 3 {
+		t.Fatalf("removed %d files, want 3: %v", len(removed), removed)
+	}
+	entries, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Slot != 4000 || entries[1].Slot != 5000 {
+		t.Fatalf("survivors %+v, want slots 4000 and 5000", entries)
+	}
+	// Already under the cap: a second GC is a no-op.
+	removed, err = GC(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("second GC removed %v", removed)
+	}
+}
+
+func TestGCValidatesKeep(t *testing.T) {
+	if _, err := GC(t.TempDir(), 0); err == nil {
+		t.Fatal("keep 0: expected error")
+	}
+}

@@ -6,25 +6,14 @@ import (
 
 	"ctjam/internal/env"
 	"ctjam/internal/mdp"
+	"ctjam/internal/policy"
 )
 
-// hopTarget picks a uniformly random channel outside the current channel's
-// sweep block, matching the MDP's assumption that a hop lands on one of the
-// other S-1 blocks (Eq. 9). Hopping within the jammer's block would not
-// escape a 4-channel-wide cross-technology jammer.
+// hopTarget delegates to the shared block-aware target draw in
+// internal/policy, where the decision logic now lives (see that package's
+// doc). Kept so the tabular training loop and tests draw identically.
 func hopTarget(rng *rand.Rand, current, channels, sweepWidth int) int {
-	blocks := (channels + sweepWidth - 1) / sweepWidth
-	curBlock := current / sweepWidth
-	b := rng.Intn(blocks - 1)
-	if b >= curBlock {
-		b++
-	}
-	lo := b * sweepWidth
-	hi := lo + sweepWidth
-	if hi > channels {
-		hi = channels
-	}
-	return lo + rng.Intn(hi-lo)
+	return policy.HopTarget(rng, current, channels, sweepWidth)
 }
 
 // PassiveFH is the "PSV FH" baseline of §IV-D3: it reacts only after the
@@ -32,12 +21,11 @@ func hopTarget(rng *rand.Rand, current, channels, sweepWidth int) int {
 // certain threshold", i.e. after several consecutive jammed slots — not on
 // the first one, because a single bad slot does not move a windowed error
 // rate across the threshold. It always transmits at the minimum power.
+//
+// The decision logic lives in internal/policy (Threshold over a Streak
+// encoder); this type is the serial env.Agent adapter.
 type PassiveFH struct {
-	channels     int
-	sweepWidth   int
-	jamThreshold int
-	rng          *rand.Rand
-	jamStreak    int
+	*policy.Agent
 }
 
 var _ env.Agent = (*PassiveFH)(nil)
@@ -55,43 +43,11 @@ func NewPassiveFH(channels, sweepWidth int) (*PassiveFH, error) {
 // NewPassiveFHThreshold builds the baseline with an explicit error-rate
 // threshold expressed as consecutive jammed slots.
 func NewPassiveFHThreshold(channels, sweepWidth, jamThreshold int) (*PassiveFH, error) {
-	if err := checkTopology(channels, sweepWidth); err != nil {
+	s, err := policy.PassiveFHScheme(channels, sweepWidth, jamThreshold)
+	if err != nil {
 		return nil, err
 	}
-	if jamThreshold < 1 {
-		return nil, fmt.Errorf("core: jam threshold %d must be >= 1", jamThreshold)
-	}
-	return &PassiveFH{channels: channels, sweepWidth: sweepWidth, jamThreshold: jamThreshold}, nil
-}
-
-// Name implements env.Agent.
-func (a *PassiveFH) Name() string { return "PSV FH" }
-
-// Reset implements env.Agent.
-func (a *PassiveFH) Reset(rng *rand.Rand) {
-	a.rng = rng
-	a.jamStreak = 0
-}
-
-// Decide hops only after the jam streak crosses the error-rate threshold.
-func (a *PassiveFH) Decide(prev env.SlotInfo) env.Decision {
-	if prev.First {
-		a.jamStreak = 0
-		return env.Decision{Channel: prev.Channel, Power: 0}
-	}
-	if prev.Outcome == env.OutcomeJammed {
-		a.jamStreak++
-	} else {
-		a.jamStreak = 0
-	}
-	if a.jamStreak < a.jamThreshold {
-		return env.Decision{Channel: prev.Channel, Power: 0}
-	}
-	a.jamStreak = 0
-	return env.Decision{
-		Channel: hopTarget(a.rng, prev.Channel, a.channels, a.sweepWidth),
-		Power:   0,
-	}
+	return &PassiveFH{Agent: s.NewAgent()}, nil
 }
 
 // RandomFH is the "Rand FH" baseline of §IV-D3: at the start of every slot
@@ -99,49 +55,26 @@ func (a *PassiveFH) Decide(prev env.SlotInfo) env.Decision {
 // random power level. Unlike the MDP/DQN schemes it is oblivious to the
 // jammer's 4-channel block structure: its hops land on a uniformly random
 // other channel, which sometimes stays inside the jammed block.
+//
+// The decision logic lives in internal/policy (RandomWalk encoder); this
+// type is the serial env.Agent adapter.
 type RandomFH struct {
-	channels   int
-	sweepWidth int
-	powers     int
-	rng        *rand.Rand
+	*policy.Agent
 }
 
 var _ env.Agent = (*RandomFH)(nil)
 
 // NewRandomFH builds the baseline.
 func NewRandomFH(channels, sweepWidth, powers int) (*RandomFH, error) {
-	if err := checkTopology(channels, sweepWidth); err != nil {
+	s, err := policy.RandomFHScheme(channels, sweepWidth, powers)
+	if err != nil {
 		return nil, err
 	}
-	if powers <= 0 {
-		return nil, fmt.Errorf("core: powers %d must be positive", powers)
-	}
-	return &RandomFH{channels: channels, sweepWidth: sweepWidth, powers: powers}, nil
-}
-
-// Name implements env.Agent.
-func (a *RandomFH) Name() string { return "Rand FH" }
-
-// Reset implements env.Agent.
-func (a *RandomFH) Reset(rng *rand.Rand) { a.rng = rng }
-
-// Decide flips a coin between FH and PC every slot.
-func (a *RandomFH) Decide(prev env.SlotInfo) env.Decision {
-	if prev.First {
-		return env.Decision{Channel: prev.Channel, Power: 0}
-	}
-	if a.rng.Intn(2) == 0 {
-		// Blind hop: uniform over the other channels, block-oblivious.
-		ch := a.rng.Intn(a.channels - 1)
-		if ch >= prev.Channel {
-			ch++
-		}
-		return env.Decision{Channel: ch, Power: 0}
-	}
-	return env.Decision{Channel: prev.Channel, Power: a.rng.Intn(a.powers)}
+	return &RandomFH{Agent: s.NewAgent()}, nil
 }
 
 // Static is the no-defense baseline: it never hops and never raises power.
+// (Batch runs use policy.StaticScheme, which realizes the same decisions.)
 type Static struct{}
 
 var _ env.Agent = (*Static)(nil)
@@ -161,16 +94,12 @@ func (Static) Decide(prev env.SlotInfo) env.Decision {
 // It tracks its belief state (consecutive successful slots on the current
 // channel, or the jammed states) from observed outcomes, as the idealized
 // §III-B analysis assumes.
+//
+// The belief tracking and policy lookup live in internal/policy (Lookup
+// over a Belief encoder); this type is the serial env.Agent adapter. Its
+// promoted Scheme method exposes the shared policy for batched runs.
 type MDPAgent struct {
-	model      *Model
-	policy     []int
-	channels   int
-	sweepWidth int
-
-	rng *rand.Rand
-	n   int // consecutive successes on current channel (0 = jammed state)
-	tj  bool
-	j   bool
+	*policy.Agent
 }
 
 var _ env.Agent = (*MDPAgent)(nil)
@@ -191,66 +120,11 @@ func NewMDPAgent(m *Model, sol *mdp.Solution, channels, sweepWidth int) (*MDPAge
 	if len(sol.Policy) != m.NumStates() {
 		return nil, fmt.Errorf("core: policy has %d states, model needs %d", len(sol.Policy), m.NumStates())
 	}
-	return &MDPAgent{
-		model:      m,
-		policy:     append([]int(nil), sol.Policy...),
-		channels:   channels,
-		sweepWidth: sweepWidth,
-	}, nil
-}
-
-// Name implements env.Agent.
-func (a *MDPAgent) Name() string { return "MDP*" }
-
-// Reset implements env.Agent.
-func (a *MDPAgent) Reset(rng *rand.Rand) {
-	a.rng = rng
-	a.n = 1
-	a.tj = false
-	a.j = false
-}
-
-// Decide maps the tracked belief state through the optimal policy.
-func (a *MDPAgent) Decide(prev env.SlotInfo) env.Decision {
-	if !prev.First {
-		// Update belief from the previous outcome.
-		switch prev.Outcome {
-		case env.OutcomeSuccess:
-			if prev.Hopped || a.tj || a.j {
-				a.n = 1
-			} else if a.n < a.model.p.SweepCycle-1 {
-				a.n++
-			}
-			a.tj, a.j = false, false
-		case env.OutcomeJammedSurvived:
-			a.tj, a.j = true, false
-		case env.OutcomeJammed:
-			a.tj, a.j = false, true
-		}
-	}
-
-	state := 0
-	switch {
-	case a.j:
-		state = a.model.StateJ()
-	case a.tj:
-		state = a.model.StateTJ()
-	default:
-		s, err := a.model.StateOfN(a.n)
-		if err != nil {
-			s = 0
-		}
-		state = s
-	}
-	hop, power, err := a.model.DecodeAction(a.policy[state])
+	s, err := policy.MDPScheme("MDP*", m, sol.Policy, channels, sweepWidth)
 	if err != nil {
-		return env.Decision{Channel: prev.Channel, Power: 0}
+		return nil, err
 	}
-	ch := prev.Channel
-	if hop && !prev.First {
-		ch = hopTarget(a.rng, prev.Channel, a.channels, a.sweepWidth)
-	}
-	return env.Decision{Channel: ch, Power: power}
+	return &MDPAgent{Agent: s.NewAgent()}, nil
 }
 
 func checkTopology(channels, sweepWidth int) error {

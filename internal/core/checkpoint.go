@@ -43,13 +43,13 @@ func (a *DQNAgent) SaveTraining(w io.Writer, e *env.Environment, cur TrainingCur
 	for _, v := range []any{
 		uint32(trainMagic), uint32(trainVersion),
 		uint64(cur.Slot), math.Float64bits(cur.TotalReward),
-		uint32(len(a.history)),
+		uint32(len(a.hist.Window())),
 	} {
 		if err := write(v); err != nil {
 			return err
 		}
 	}
-	for _, x := range a.history {
+	for _, x := range a.hist.Window() {
 		if err := write(math.Float64bits(x)); err != nil {
 			return err
 		}
@@ -150,7 +150,9 @@ func (a *DQNAgent) LoadTraining(r io.Reader, e *env.Environment) (TrainingCursor
 	if err := e.SetState(st); err != nil {
 		return TrainingCursor{}, fmt.Errorf("%w: %v", ErrBadTrainingCheckpoint, err)
 	}
-	a.history = hist
+	if err := a.hist.SetWindow(hist); err != nil {
+		return TrainingCursor{}, fmt.Errorf("%w: %v", ErrBadTrainingCheckpoint, err)
+	}
 	return TrainingCursor{Slot: int(slot), TotalReward: math.Float64frombits(totalBits)}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"ctjam/internal/env"
 	"ctjam/internal/nn"
+	"ctjam/internal/policy"
 	"ctjam/internal/rl"
 )
 
@@ -64,11 +65,16 @@ func DefaultDQNAgentConfig(channels, powers, sweepWidth int) DQNAgentConfig {
 // DQNAgent is the paper's deep-RL anti-jamming scheme. Train it online in a
 // simulation environment, then run it greedily (it implements env.Agent for
 // evaluation).
+//
+// The rolling feature window is a policy.History — the same encoder the
+// batched inference engine uses — so the training path and inference path
+// share one state encoding. Scheme snapshots the trained network as an
+// immutable batched policy.
 type DQNAgent struct {
 	cfg DQNAgentConfig
 	dqn *rl.DQN
 
-	history []float64 // rolling 3*HistoryLen feature window
+	hist *policy.History // rolling 3*HistoryLen feature window
 }
 
 var _ env.Agent = (*DQNAgent)(nil)
@@ -102,9 +108,11 @@ func NewDQNAgent(cfg DQNAgentConfig) (*DQNAgent, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: build dqn: %w", err)
 	}
-	a := &DQNAgent{cfg: cfg, dqn: dqn}
-	a.clearHistory()
-	return a, nil
+	return &DQNAgent{
+		cfg:  cfg,
+		dqn:  dqn,
+		hist: policy.NewHistory(cfg.Channels, cfg.Powers, cfg.HistoryLen),
+	}, nil
 }
 
 // Name implements env.Agent.
@@ -126,35 +134,27 @@ func (a *DQNAgent) LoadModel(r io.Reader) error {
 	return a.dqn.SetNetwork(net)
 }
 
-func (a *DQNAgent) clearHistory() {
-	a.history = make([]float64, 3*a.cfg.HistoryLen)
-}
+func (a *DQNAgent) clearHistory() { a.hist.Clear() }
 
 // pushHistory appends one slot record (outcome, channel, power) to the
 // rolling window.
 func (a *DQNAgent) pushHistory(outcome env.Outcome, channel, power int) {
-	var oc float64
-	switch outcome {
-	case env.OutcomeSuccess:
-		oc = 1
-	case env.OutcomeJammedSurvived:
-		oc = 0.5
-	case env.OutcomeJammed:
-		oc = -1
-	}
-	entry := []float64{
-		oc,
-		float64(channel) / float64(a.cfg.Channels-1),
-		float64(power) / float64(max(a.cfg.Powers-1, 1)),
-	}
-	a.history = append(a.history[3:], entry...)
+	a.hist.Push(outcome, channel, power)
 }
 
 // state snapshots the current feature window.
-func (a *DQNAgent) state() []float64 {
-	out := make([]float64, len(a.history))
-	copy(out, a.history)
-	return out
+func (a *DQNAgent) state() []float64 { return a.hist.Snapshot() }
+
+// Scheme snapshots the trained network as an immutable batched policy paired
+// with fresh history encoders. The snapshot clones the weights, so further
+// Train calls do not affect it and any number of goroutines may decide
+// through it concurrently.
+func (a *DQNAgent) Scheme() (*policy.Scheme, error) {
+	snap, err := a.dqn.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return policy.DQNScheme(a.Name(), snap, a.cfg.Channels, a.cfg.Powers, a.cfg.HistoryLen)
 }
 
 func (a *DQNAgent) decodeAction(action int) (channel, power int) {
@@ -234,7 +234,7 @@ func (a *DQNAgent) Decide(prev env.SlotInfo) env.Decision {
 	// GreedyAction only reads the features, so pass the window directly
 	// instead of snapshotting it with a.state(); Train still snapshots
 	// because replay transitions retain their State/Next slices.
-	action, err := a.dqn.GreedyAction(a.history)
+	action, err := a.dqn.GreedyAction(a.hist.Window())
 	if err != nil {
 		return env.Decision{Channel: prev.Channel, Power: 0}
 	}

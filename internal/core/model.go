@@ -123,6 +123,10 @@ func NewModel(p Params) (*Model, error) {
 // Params returns the model parameters.
 func (m *Model) Params() Params { return m.p }
 
+// SweepCycle returns S, the jammer's sweep cycle in slots (part of the
+// policy.BeliefModel interface).
+func (m *Model) SweepCycle() int { return m.p.SweepCycle }
+
 // NumStates returns S+1: the S-1 counting states plus T_J and J.
 func (m *Model) NumStates() int { return m.p.SweepCycle + 1 }
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"ctjam/internal/env"
+	"ctjam/internal/policy"
 	"ctjam/internal/rl"
 )
 
@@ -13,16 +14,18 @@ import (
 // uses (n = 1..S-1, T_J, J) with the stay/hop x power action space. Unlike
 // the DQN it cannot consume the raw observation history, so it depends on
 // the belief-state abstraction being correct.
+//
+// Belief tracking is shared with the inference engine (policy.Belief); the
+// online Q-learning loop stays here. Scheme exports the learned table as an
+// immutable batched policy.
 type QAgent struct {
 	model      *Model
 	table      *rl.QTable
 	channels   int
 	sweepWidth int
 
-	rng *rand.Rand
-	n   int
-	tj  bool
-	j   bool
+	rng    *rand.Rand
+	belief *policy.Belief
 }
 
 var _ env.Agent = (*QAgent)(nil)
@@ -41,43 +44,30 @@ func NewQAgent(m *Model, channels, sweepWidth int, seed int64) (*QAgent, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &QAgent{model: m, table: table, channels: channels, sweepWidth: sweepWidth}, nil
+	return &QAgent{
+		model:      m,
+		table:      table,
+		channels:   channels,
+		sweepWidth: sweepWidth,
+		belief:     policy.NewBelief(m, channels, sweepWidth),
+	}, nil
 }
 
 // Name implements env.Agent.
 func (a *QAgent) Name() string { return "Q-learning" }
 
 // beliefState maps the tracked belief to a table state index.
-func (a *QAgent) beliefState() int {
-	switch {
-	case a.j:
-		return a.model.StateJ()
-	case a.tj:
-		return a.model.StateTJ()
-	default:
-		s, err := a.model.StateOfN(a.n)
-		if err != nil {
-			return 0
-		}
-		return s
-	}
-}
+func (a *QAgent) beliefState() int { return a.belief.State() }
 
 // observe folds a slot outcome into the belief.
 func (a *QAgent) observe(outcome env.Outcome, hopped bool) {
-	switch outcome {
-	case env.OutcomeSuccess:
-		if hopped || a.tj || a.j {
-			a.n = 1
-		} else if a.n < a.model.p.SweepCycle-1 {
-			a.n++
-		}
-		a.tj, a.j = false, false
-	case env.OutcomeJammedSurvived:
-		a.tj, a.j = true, false
-	case env.OutcomeJammed:
-		a.tj, a.j = false, true
-	}
+	a.belief.Observe(outcome, hopped)
+}
+
+// Scheme snapshots the learned table as an immutable batched policy paired
+// with fresh belief encoders (further Train calls do not affect it).
+func (a *QAgent) Scheme() (*policy.Scheme, error) {
+	return policy.QTableScheme(a.Name(), a.model, a.table.Snapshot(), a.channels, a.sweepWidth)
 }
 
 // Train runs epsilon-greedy Q-learning online for the given number of
@@ -86,7 +76,7 @@ func (a *QAgent) Train(e *env.Environment, slots int) (float64, error) {
 	if slots <= 0 {
 		return 0, fmt.Errorf("core: training slots %d must be positive", slots)
 	}
-	a.resetBelief()
+	a.belief.Reset(nil)
 	rng := rand.New(rand.NewSource(42))
 	channel := e.CurrentChannel()
 	var total float64
@@ -116,16 +106,10 @@ func (a *QAgent) Train(e *env.Environment, slots int) (float64, error) {
 	return total / float64(slots), nil
 }
 
-func (a *QAgent) resetBelief() {
-	a.n = 1
-	a.tj = false
-	a.j = false
-}
-
 // Reset implements env.Agent (evaluation mode).
 func (a *QAgent) Reset(rng *rand.Rand) {
 	a.rng = rng
-	a.resetBelief()
+	a.belief.Reset(rng)
 }
 
 // Decide implements env.Agent: greedy play of the learned table.

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ctjam/internal/rl"
+)
+
+// SnapshotFromCheckpoint reads an inference-only network snapshot from any of
+// the repo's three on-disk formats: a bare network (CTJM, Policy.Save), a DQN
+// learner state (CTDQ, rl SaveState) or a full training checkpoint (CTTC,
+// SaveTraining). For CTTC it skips the training prelude (cursor, history
+// window, environment state) and snapshots the online network embedded in the
+// learner state; optimizer moments and the replay buffer are never
+// materialized. This is how ctjam-serve loads whatever artifact a training
+// run left behind.
+func SnapshotFromCheckpoint(r io.Reader) (*rl.Snapshot, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("core: read checkpoint magic: %w", err)
+	}
+	if binary.LittleEndian.Uint32(head) == trainMagic {
+		if err := skipTrainingPrelude(br); err != nil {
+			return nil, err
+		}
+	}
+	return rl.ReadSnapshot(br)
+}
+
+// skipTrainingPrelude consumes a CTTC stream up to the embedded CTDQ learner
+// state, using the in-stream lengths so it needs no agent configuration.
+func skipTrainingPrelude(r io.Reader) error {
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var magic, version uint32
+	var slot, totalBits uint64
+	var histLen uint32
+	for _, v := range []any{&magic, &version, &slot, &totalBits, &histLen} {
+		if err := read(v); err != nil {
+			return fmt.Errorf("%w: header: %v", ErrBadTrainingCheckpoint, err)
+		}
+	}
+	if magic != trainMagic {
+		return fmt.Errorf("%w: bad magic %#x", ErrBadTrainingCheckpoint, magic)
+	}
+	if version != trainVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadTrainingCheckpoint, version)
+	}
+	if histLen > 1<<20 {
+		return fmt.Errorf("%w: implausible history length %d", ErrBadTrainingCheckpoint, histLen)
+	}
+	if _, err := io.CopyN(io.Discard, r, int64(histLen)*8); err != nil {
+		return fmt.Errorf("%w: history: %v", ErrBadTrainingCheckpoint, err)
+	}
+	var envRNG, envSlot, lockBlock uint64
+	var envChannel, nRemaining uint32
+	var started, locked uint8
+	for _, v := range []any{&envRNG, &envChannel, &envSlot, &started, &locked, &lockBlock, &nRemaining} {
+		if err := read(v); err != nil {
+			return fmt.Errorf("%w: environment: %v", ErrBadTrainingCheckpoint, err)
+		}
+	}
+	if nRemaining > 1<<16 {
+		return fmt.Errorf("%w: implausible sweeper size %d", ErrBadTrainingCheckpoint, nRemaining)
+	}
+	if _, err := io.CopyN(io.Discard, r, int64(nRemaining)*4); err != nil {
+		return fmt.Errorf("%w: sweeper: %v", ErrBadTrainingCheckpoint, err)
+	}
+	return nil
+}

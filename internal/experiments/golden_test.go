@@ -67,6 +67,14 @@ func TestGoldenFig6a(t *testing.T) {
 	checkGolden(t, "fig6a", res)
 }
 
+func TestGoldenFig8b(t *testing.T) {
+	res, err := Run("fig8b", goldenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig8b", res)
+}
+
 func TestGoldenTable1(t *testing.T) {
 	res, err := Run("table1", goldenOptions())
 	if err != nil {

@@ -1,0 +1,107 @@
+package iot
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ctjam/internal/env"
+)
+
+// BatchRun drives len(sims) independent field simulators in lockstep through
+// one env.BatchAgent: every Tx slot, the agent decides for all networks at
+// once (one stacked inference batch), then each simulator resolves its slot.
+// Per-simulator RNG seeding matches Run exactly, so the results are
+// bit-identical to len(sims) serial Run calls at any batch size.
+func BatchRun(sims []*Simulator, a env.BatchAgent, slots int) ([]RunStats, error) {
+	k := len(sims)
+	if k == 0 {
+		return nil, fmt.Errorf("iot: batch run needs at least one simulator")
+	}
+	if a.Len() != k {
+		return nil, fmt.Errorf("iot: batch agent %s sized for %d links, got %d simulators", a.Name(), a.Len(), k)
+	}
+	if slots <= 0 {
+		return nil, fmt.Errorf("iot: slots %d must be positive", slots)
+	}
+	rngs := make([]*rand.Rand, k)
+	prevs := make([]env.SlotInfo, k)
+	for i, s := range sims {
+		if err := s.reset(); err != nil {
+			return nil, err
+		}
+		rngs[i] = rand.New(rand.NewSource(s.cfg.Seed + 0x5eed))
+		// The initial channel draw must consume the simulator RNG in the
+		// same order as Run (reset first, then one Intn).
+		prevs[i] = env.SlotInfo{First: true, Channel: s.rng.Intn(s.cfg.Channels)}
+	}
+	if err := a.ResetBatch(rngs); err != nil {
+		return nil, fmt.Errorf("iot: batch reset (agent %s): %w", a.Name(), err)
+	}
+
+	runs := make([]RunStats, k)
+	sumUtil := make([]float64, k)
+	sumOverhd := make([]time.Duration, k)
+	prevJammed := make([]bool, k)
+	decs := make([]env.Decision, k)
+	for i := 0; i < slots; i++ {
+		if err := a.DecideBatch(prevs, decs); err != nil {
+			return nil, fmt.Errorf("iot: slot %d (agent %s): %w", i, a.Name(), err)
+		}
+		for n, s := range sims {
+			d := decs[n]
+			if d.Channel < 0 || d.Channel >= s.cfg.Channels || d.Power < 0 || d.Power >= len(s.cfg.TxPowers) {
+				return nil, fmt.Errorf("iot: agent %s returned invalid decision %+v", a.Name(), d)
+			}
+			hopped := !prevs[n].First && d.Channel != prevs[n].Channel
+			st, err := s.RunSlot(d.Channel, d.Power, hopped)
+			if err != nil {
+				return nil, err
+			}
+
+			run := &runs[n]
+			run.Slots++
+			run.Attempted += st.Attempted
+			run.Delivered += st.Delivered
+			sumUtil[n] += st.Utilization
+			sumOverhd[n] += st.Overhead
+
+			run.Counters.Slots++
+			if st.Outcome.Succeeded() {
+				run.Counters.Successes++
+			} else {
+				run.Counters.JamLosses++
+			}
+			if st.Outcome != env.OutcomeSuccess {
+				run.Counters.JammedSlots++
+			}
+			if hopped {
+				run.Counters.Hops++
+				if prevJammed[n] && st.Outcome.Succeeded() {
+					run.Counters.UsefulHops++
+				}
+			}
+			if d.Power > 0 {
+				run.Counters.PCSlots++
+				if st.Outcome == env.OutcomeJammedSurvived && s.cfg.TxPowers[0] < s.cfg.TxPowers[d.Power] {
+					run.Counters.UsefulPCs++
+				}
+			}
+
+			prevJammed[n] = st.Outcome == env.OutcomeJammed
+			prevs[n] = env.SlotInfo{
+				Slot:    i + 1,
+				Channel: d.Channel,
+				Power:   d.Power,
+				Outcome: st.Outcome,
+				Hopped:  hopped,
+			}
+		}
+	}
+	for n := range runs {
+		runs[n].GoodputPktsPerSlot = float64(runs[n].Delivered) / float64(runs[n].Slots)
+		runs[n].MeanUtilization = sumUtil[n] / float64(runs[n].Slots)
+		runs[n].MeanOverhead = sumOverhd[n] / time.Duration(runs[n].Slots)
+	}
+	return runs, nil
+}

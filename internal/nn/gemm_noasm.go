@@ -1,0 +1,23 @@
+//go:build !amd64
+
+package nn
+
+// Non-amd64 builds have no assembly microkernel; matMulBatchInto keeps to the
+// portable blocked kernel, which computes identical bits.
+var useAVX = false
+
+func block4AVX(dst, a, b *float64, k, stride, cols4 int) {
+	panic("nn: assembly kernel not available on this architecture")
+}
+
+func block8AVX(dst, a, b *float64, k, stride, cols4 int) {
+	panic("nn: assembly kernel not available on this architecture")
+}
+
+func vecMaxZero(dst, src *float64, n4 int) {
+	panic("nn: assembly kernel not available on this architecture")
+}
+
+func vecAddRows(dst, row *float64, rows, stride, cols4 int) {
+	panic("nn: assembly kernel not available on this architecture")
+}

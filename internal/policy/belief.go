@@ -1,0 +1,248 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ctjam/internal/env"
+)
+
+// BeliefModel is the slice of the anti-jamming MDP the belief-state schemes
+// need: the state indexing (counting states n, T_J, J) and the action
+// encoding (stay/hop x power). internal/core's Model satisfies it; the
+// interface keeps this package free of a core dependency (core imports
+// policy, not the other way around).
+type BeliefModel interface {
+	// SweepCycle returns S, the jammer's sweep cycle in slots.
+	SweepCycle() int
+	// StateTJ and StateJ return the jammed-state indices.
+	StateTJ() int
+	StateJ() int
+	// StateOfN converts a success count n (1..S-1) to a state index.
+	StateOfN(n int) (int, error)
+	// NumStates and NumActions size the model.
+	NumStates() int
+	NumActions() int
+	// DecodeAction splits an action index into (hop, power).
+	DecodeAction(a int) (hop bool, power int, err error)
+}
+
+// Lookup plays a fixed state→action table — the solved MDP's greedy policy.
+type Lookup struct {
+	name    string
+	actions []int
+	numActs int
+}
+
+var _ Policy = (*Lookup)(nil)
+
+// NewLookup wraps a per-state action table (copied) as a policy.
+func NewLookup(name string, actions []int, numActions int) (*Lookup, error) {
+	if len(actions) == 0 || numActions <= 0 {
+		return nil, fmt.Errorf("policy: lookup needs states and actions")
+	}
+	for s, a := range actions {
+		if a < 0 || a >= numActions {
+			return nil, fmt.Errorf("policy: lookup action %d at state %d out of range [0,%d)", a, s, numActions)
+		}
+	}
+	return &Lookup{name: name, actions: append([]int(nil), actions...), numActs: numActions}, nil
+}
+
+// Name implements Policy.
+func (p *Lookup) Name() string { return p.name }
+
+// StateDim implements Policy: one feature, the belief-state index.
+func (p *Lookup) StateDim() int { return 1 }
+
+// NumActions implements Policy.
+func (p *Lookup) NumActions() int { return p.numActs }
+
+// DecideBatch implements Policy.
+func (p *Lookup) DecideBatch(states []float64, actions []int) error {
+	if len(states) != len(actions) {
+		return fmt.Errorf("policy: lookup batch of %d states for %d actions", len(states), len(actions))
+	}
+	for i, s := range states {
+		idx := int(s)
+		if idx < 0 || idx >= len(p.actions) {
+			return fmt.Errorf("policy: lookup state %d out of range [0,%d)", idx, len(p.actions))
+		}
+		actions[i] = p.actions[idx]
+	}
+	return nil
+}
+
+// TableGreedy plays argmax over an immutable Q matrix (states x actions) —
+// the tabular Q-learning scheme's inference half.
+type TableGreedy struct {
+	name string
+	q    [][]float64
+}
+
+var _ Policy = (*TableGreedy)(nil)
+
+// NewTableGreedy wraps a Q matrix (adopted, not copied — pass a snapshot) as
+// a policy.
+func NewTableGreedy(name string, q [][]float64) (*TableGreedy, error) {
+	if len(q) == 0 || len(q[0]) == 0 {
+		return nil, fmt.Errorf("policy: greedy table needs states and actions")
+	}
+	for s := range q {
+		if len(q[s]) != len(q[0]) {
+			return nil, fmt.Errorf("policy: ragged q table at state %d", s)
+		}
+	}
+	return &TableGreedy{name: name, q: q}, nil
+}
+
+// Name implements Policy.
+func (p *TableGreedy) Name() string { return p.name }
+
+// StateDim implements Policy: one feature, the belief-state index.
+func (p *TableGreedy) StateDim() int { return 1 }
+
+// NumActions implements Policy.
+func (p *TableGreedy) NumActions() int { return len(p.q[0]) }
+
+// DecideBatch implements Policy.
+func (p *TableGreedy) DecideBatch(states []float64, actions []int) error {
+	if len(states) != len(actions) {
+		return fmt.Errorf("policy: greedy batch of %d states for %d actions", len(states), len(actions))
+	}
+	for i, s := range states {
+		idx := int(s)
+		if idx < 0 || idx >= len(p.q) {
+			return fmt.Errorf("policy: greedy state %d out of range [0,%d)", idx, len(p.q))
+		}
+		best, bestV := 0, math.Inf(-1)
+		for a, v := range p.q[idx] {
+			if v > bestV {
+				best, bestV = a, v
+			}
+		}
+		actions[i] = best
+	}
+	return nil
+}
+
+// MDPScheme pairs a Lookup over the solved policy with Belief encoders.
+func MDPScheme(name string, model BeliefModel, solved []int, channels, sweepWidth int) (*Scheme, error) {
+	if len(solved) != model.NumStates() {
+		return nil, fmt.Errorf("policy: solved policy has %d states, model needs %d", len(solved), model.NumStates())
+	}
+	p, err := NewLookup(name, solved, model.NumActions())
+	if err != nil {
+		return nil, err
+	}
+	return beliefScheme(p, model, channels, sweepWidth)
+}
+
+// QTableScheme pairs a TableGreedy over a Q snapshot with Belief encoders.
+func QTableScheme(name string, model BeliefModel, q [][]float64, channels, sweepWidth int) (*Scheme, error) {
+	if len(q) != model.NumStates() {
+		return nil, fmt.Errorf("policy: q table has %d states, model needs %d", len(q), model.NumStates())
+	}
+	p, err := NewTableGreedy(name, q)
+	if err != nil {
+		return nil, err
+	}
+	return beliefScheme(p, model, channels, sweepWidth)
+}
+
+func beliefScheme(p Policy, model BeliefModel, channels, sweepWidth int) (*Scheme, error) {
+	if err := checkTopology(channels, sweepWidth); err != nil {
+		return nil, err
+	}
+	return NewScheme(p, func() Encoder {
+		return NewBelief(model, channels, sweepWidth)
+	})
+}
+
+// Belief is the per-link encoder for the belief-state schemes: it tracks the
+// §III-B belief (n consecutive successes on the current channel, or the T_J
+// / J jammed states) from observed outcomes and emits the state index as the
+// single feature. Decode realizes hop actions with the block-aware HopTarget
+// draw.
+type Belief struct {
+	model      BeliefModel
+	channels   int
+	sweepWidth int
+
+	rng *rand.Rand
+	n   int // consecutive successes on current channel
+	tj  bool
+	j   bool
+}
+
+var _ Encoder = (*Belief)(nil)
+
+// NewBelief builds a belief encoder for the given model and topology.
+func NewBelief(model BeliefModel, channels, sweepWidth int) *Belief {
+	return &Belief{model: model, channels: channels, sweepWidth: sweepWidth, n: 1}
+}
+
+// Reset implements Encoder.
+func (b *Belief) Reset(rng *rand.Rand) {
+	b.rng = rng
+	b.n = 1
+	b.tj = false
+	b.j = false
+}
+
+// Observe folds a slot outcome into the belief (shared with the tabular
+// training loop in internal/core).
+func (b *Belief) Observe(outcome env.Outcome, hopped bool) {
+	switch outcome {
+	case env.OutcomeSuccess:
+		if hopped || b.tj || b.j {
+			b.n = 1
+		} else if b.n < b.model.SweepCycle()-1 {
+			b.n++
+		}
+		b.tj, b.j = false, false
+	case env.OutcomeJammedSurvived:
+		b.tj, b.j = true, false
+	case env.OutcomeJammed:
+		b.tj, b.j = false, true
+	}
+}
+
+// State maps the tracked belief to a model state index.
+func (b *Belief) State() int {
+	switch {
+	case b.j:
+		return b.model.StateJ()
+	case b.tj:
+		return b.model.StateTJ()
+	default:
+		s, err := b.model.StateOfN(b.n)
+		if err != nil {
+			return 0
+		}
+		return s
+	}
+}
+
+// Encode implements Encoder.
+func (b *Belief) Encode(prev env.SlotInfo, dst []float64) {
+	if !prev.First {
+		b.Observe(prev.Outcome, prev.Hopped)
+	}
+	dst[0] = float64(b.State())
+}
+
+// Decode implements Encoder: hop actions draw a block-aware target from the
+// link RNG (never on the first slot, which has no channel to hop from).
+func (b *Belief) Decode(prev env.SlotInfo, action int) env.Decision {
+	hop, power, err := b.model.DecodeAction(action)
+	if err != nil {
+		return env.Decision{Channel: prev.Channel, Power: 0}
+	}
+	ch := prev.Channel
+	if hop && !prev.First {
+		ch = HopTarget(b.rng, prev.Channel, b.channels, b.sweepWidth)
+	}
+	return env.Decision{Channel: ch, Power: power}
+}

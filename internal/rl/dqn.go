@@ -156,12 +156,42 @@ func (d *DQN) QValues(state []float64) ([]float64, error) {
 	if d.stateBuf == nil {
 		d.stateBuf = nn.NewMatrix(1, d.cfg.StateDim)
 	}
+	d.stateBuf.Reshape(1, d.cfg.StateDim) // QValuesBatch may have widened it
 	copy(d.stateBuf.Data, state)
 	out, err := d.online.Forward(d.stateBuf)
 	if err != nil {
 		return nil, err
 	}
 	return out.RowView(0), nil
+}
+
+// QValuesBatch evaluates the online network on n stacked states (states must
+// hold n*StateDim values, row-major) and returns the n x NumActions Q matrix.
+// Like QValues, the returned matrix is network-owned scratch, valid only
+// until the learner's next forward pass. For a concurrent-safe inference
+// path use Snapshot.
+func (d *DQN) QValuesBatch(states []float64) (*nn.Matrix, error) {
+	if len(states) == 0 || len(states)%d.cfg.StateDim != 0 {
+		return nil, fmt.Errorf("rl: batch of %d values is not a multiple of state dim %d", len(states), d.cfg.StateDim)
+	}
+	n := len(states) / d.cfg.StateDim
+	if d.stateBuf == nil {
+		d.stateBuf = nn.NewMatrix(n, d.cfg.StateDim)
+	}
+	d.stateBuf.Reshape(n, d.cfg.StateDim)
+	copy(d.stateBuf.Data, states)
+	return d.online.Forward(d.stateBuf)
+}
+
+// Snapshot clones the online network's weights into an immutable
+// inference-only Snapshot (no Adam moments, no replay buffer, no exploration
+// state) that is safe for concurrent readers.
+func (d *DQN) Snapshot() (*Snapshot, error) {
+	net, err := d.online.Clone()
+	if err != nil {
+		return nil, err
+	}
+	return NewSnapshot(net)
 }
 
 // SelectAction picks an action epsilon-greedily. With probability 1-eps it

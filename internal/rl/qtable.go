@@ -59,6 +59,17 @@ func (t *QTable) Q(state, action int) (float64, error) {
 // Steps returns the number of updates applied.
 func (t *QTable) Steps() int { return t.steps }
 
+// Snapshot returns a deep copy of the Q matrix (states x actions), the
+// tabular analogue of DQN.Snapshot: an immutable value table for the
+// inference engine, decoupled from further Update calls.
+func (t *QTable) Snapshot() [][]float64 {
+	out := make([][]float64, len(t.q))
+	for s, row := range t.q {
+		out[s] = append([]float64(nil), row...)
+	}
+	return out
+}
+
 func (t *QTable) check(state, action int) error {
 	if state < 0 || state >= t.states {
 		return fmt.Errorf("rl: state %d out of range [0,%d)", state, t.states)

@@ -1,0 +1,217 @@
+package rl
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func testLearner(t *testing.T, seed int64) *DQN {
+	t.Helper()
+	cfg := DefaultDQNConfig(24, 160)
+	cfg.Hidden = []int{48, 48}
+	cfg.Seed = seed
+	d, err := NewDQN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func randBatch(rng *rand.Rand, n, dim int) []float64 {
+	out := make([]float64, n*dim)
+	for i := range out {
+		out[i] = rng.Float64()*2 - 1
+	}
+	return out
+}
+
+func TestSnapshotGreedyBatchMatchesGreedyAction(t *testing.T) {
+	d := testLearner(t, 3)
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.StateDim() != 24 || snap.NumActions() != 160 {
+		t.Fatalf("snapshot dims %dx%d", snap.StateDim(), snap.NumActions())
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 3, 17, 64} {
+		states := randBatch(rng, n, 24)
+		actions := make([]int, n)
+		if err := snap.GreedyBatch(actions, states); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			want, err := d.GreedyAction(states[i*24 : (i+1)*24])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if actions[i] != want {
+				t.Fatalf("n=%d state %d: batch action %d, learner action %d", n, i, actions[i], want)
+			}
+		}
+	}
+}
+
+func TestSnapshotQValuesBatchMatchesQValues(t *testing.T) {
+	d := testLearner(t, 5)
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const n = 7
+	states := randBatch(rng, n, 24)
+	q := make([]float64, n*160)
+	if err := snap.QValuesBatch(q, states); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want, err := d.QValues(states[i*24 : (i+1)*24])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < 160; a++ {
+			if q[i*160+a] != want[a] {
+				t.Fatalf("state %d action %d: %v vs %v", i, a, q[i*160+a], want[a])
+			}
+		}
+	}
+}
+
+func TestSnapshotIsImmuneToFurtherTraining(t *testing.T) {
+	d := testLearner(t, 7)
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	states := randBatch(rng, 4, 24)
+	before := make([]float64, 4*160)
+	if err := snap.QValuesBatch(before, states); err != nil {
+		t.Fatal(err)
+	}
+	// Push the learner through enough observations to trigger train steps.
+	for i := 0; i < 600; i++ {
+		s := randBatch(rng, 1, 24)
+		if _, err := d.Observe(Transition{State: s, Action: i % 160, Reward: 0.1, Next: randBatch(rng, 1, 24)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := make([]float64, 4*160)
+	if err := snap.QValuesBatch(after, states); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("snapshot value %d changed after training: %v vs %v", i, before[i], after[i])
+		}
+	}
+}
+
+func TestSnapshotConcurrentUse(t *testing.T) {
+	d := testLearner(t, 9)
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := rand.New(rand.NewSource(4))
+	states := randBatch(ref, 8, 24)
+	want := make([]int, 8)
+	if err := snap.GreedyBatch(want, states); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			actions := make([]int, 8)
+			for i := 0; i < 50; i++ {
+				if err := snap.GreedyBatch(actions, states); err != nil {
+					t.Error(err)
+					return
+				}
+				for j := range actions {
+					if actions[j] != want[j] {
+						t.Errorf("concurrent action %d = %d, want %d", j, actions[j], want[j])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSnapshotValidatesShapes(t *testing.T) {
+	d := testLearner(t, 11)
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.GreedyBatch(make([]int, 2), make([]float64, 24)); err == nil {
+		t.Fatal("action/state count mismatch: expected error")
+	}
+	if err := snap.GreedyBatch(make([]int, 1), make([]float64, 23)); err == nil {
+		t.Fatal("ragged state: expected error")
+	}
+	if err := snap.QValuesBatch(make([]float64, 159), make([]float64, 24)); err == nil {
+		t.Fatal("short q buffer: expected error")
+	}
+}
+
+func TestReadSnapshotFormats(t *testing.T) {
+	d := testLearner(t, 13)
+	rng := rand.New(rand.NewSource(5))
+	states := randBatch(rng, 3, 24)
+	want := make([]int, 3)
+	direct, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.GreedyBatch(want, states); err != nil {
+		t.Fatal(err)
+	}
+
+	// CTDQ learner state.
+	var ctdq bytes.Buffer
+	if err := d.SaveState(&ctdq); err != nil {
+		t.Fatal(err)
+	}
+	// CTJM bare network.
+	var ctjm bytes.Buffer
+	if err := d.Network().Save(&ctjm); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, buf := range map[string]*bytes.Buffer{"ctdq": &ctdq, "ctjm": &ctjm} {
+		snap, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		actions := make([]int, 3)
+		if err := snap.GreedyBatch(actions, states); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range actions {
+			if actions[i] != want[i] {
+				t.Fatalf("%s: action %d = %d, want %d", name, i, actions[i], want[i])
+			}
+		}
+	}
+
+	if _, err := ReadSnapshot(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage: expected error")
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty: expected error")
+	}
+	// Truncated CTDQ: header survives but the network does not.
+	trunc := ctdq.Bytes()[:40]
+	if _, err := ReadSnapshot(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated: expected error")
+	}
+}

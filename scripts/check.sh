@@ -13,12 +13,23 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# The batched inference engine's contracts are concurrency-sensitive: one
+# immutable snapshot serves many goroutines, and ctjam-serve hot-swaps it
+# under load. Run those suites under -race explicitly (and with -count=1 so
+# they never come from the build cache).
+go test -race -count=1 -run 'TestBatchSerialEquivalence|TestBatchValidation' ./internal/policy
+go test -race -count=1 -run 'TestSnapshot' ./internal/rl
+go test -race -count=1 ./cmd/ctjam-serve
+
 # Fuzz smoke: a few seconds per target catches shallow panics and keeps the
-# committed corpora replaying. Longer campaigns are manual:
+# committed corpora replaying. Override the budget with CHECK_FUZZTIME
+# (e.g. CHECK_FUZZTIME=30s for a longer local campaign); full-length runs
+# stay manual:
 #   go test -run '^$' -fuzz FuzzZigbeeFrameDecode -fuzztime 5m ./internal/phy/zigbee
-go test -run '^$' -fuzz FuzzZigbeeFrameDecode -fuzztime 5s ./internal/phy/zigbee
-go test -run '^$' -fuzz FuzzWifiPPDUDecode -fuzztime 5s ./internal/phy/wifi
-go test -run '^$' -fuzz FuzzCheckpointLoad -fuzztime 5s ./internal/rl
+FUZZTIME="${CHECK_FUZZTIME:-5s}"
+go test -run '^$' -fuzz FuzzZigbeeFrameDecode -fuzztime "$FUZZTIME" ./internal/phy/zigbee
+go test -run '^$' -fuzz FuzzWifiPPDUDecode -fuzztime "$FUZZTIME" ./internal/phy/wifi
+go test -run '^$' -fuzz FuzzCheckpointLoad -fuzztime "$FUZZTIME" ./internal/rl
 
 # Coverage floor: the signal-processing and learner packages back every
 # experiment, so they must stay well tested.
