@@ -75,6 +75,44 @@ func BenchmarkFig11b(b *testing.B) { benchExperiment(b, "fig11b") }
 // Table I metrics at the default parameters.
 func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
 
+// sweepPanelIDs are the 20 metric panels of Figs. 6-8 plus Table I — every
+// experiment whose points flow through the sweep-point cache.
+var sweepPanelIDs = []string{
+	"fig6a", "fig6b", "fig6c", "fig6d",
+	"fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig7f", "fig7g", "fig7h",
+	"fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h",
+	"table1",
+}
+
+// BenchmarkAllSweeps is the headline benchmark of the sweep-point cache: one
+// iteration regenerates all 20 metric panels of Figs. 6-8 plus Table I, the
+// workload of `ctjam-experiments -id all`. The uncached variant gives every
+// panel a private cache (no cross-panel reuse, the pre-cache behavior); the
+// cached variant shares one cache across the panels, so each unique (config,
+// engine, budget, seed) point is trained and evaluated exactly once and the
+// other panels read memoized counters. Workers is pinned to 1 so the ratio
+// measures compute reuse, not parallelism.
+func BenchmarkAllSweeps(b *testing.B) {
+	run := func(b *testing.B, shared bool) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			opts := experiments.QuickOptions()
+			opts.Workers = 1
+			if shared {
+				opts.Cache = experiments.NewCache()
+			}
+			for _, id := range sweepPanelIDs {
+				if _, err := experiments.Run(id, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("uncached", func(b *testing.B) { run(b, false) })
+	b.Run("cached", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkParallelSweep measures the parallel execution engine: one
 // representative experiment per family at worker counts 1 (serial path), 4,
 // and all cores. On a multi-core runner the wall-clock time should shrink

@@ -3,13 +3,21 @@
 // Usage:
 //
 //	ctjam-experiments [-id fig6a] [-scale paper|quick] [-engine mdp|dqn]
-//	                  [-workers N] [-csv dir] [-list]
+//	                  [-workers N] [-csv dir] [-list] [-cache-stats]
+//	                  [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // With -id all (the default) every registered experiment runs in order,
 // printing paper-vs-measured tables; -csv additionally writes one CSV per
 // experiment into the given directory. Independent sweep points fan out
 // over -workers goroutines (default: all cores) with bit-identical results
-// at any worker count.
+// at any worker count. All experiments share one sweep-point cache, so the
+// 20 metric panels of Figs. 6-8 (and Table I) train and evaluate each unique
+// (config, engine, budget) point exactly once; -cache-stats reports the
+// reuse on stderr.
+//
+// -cpuprofile, -memprofile and -trace write pprof CPU/heap profiles and a
+// runtime execution trace covering the experiment runs, for feeding
+// `go tool pprof` / `go tool trace`.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"strings"
 
 	"ctjam/internal/experiments"
+	"ctjam/internal/prof"
 )
 
 func main() {
@@ -40,6 +49,10 @@ func run(args []string) error {
 		list    = fs.Bool("list", false, "list experiment ids and exit")
 		seed    = fs.Int64("seed", 1, "random seed")
 		workers = fs.Int("workers", 0, "worker goroutines for independent sweep points (0 = all cores, 1 = serial)")
+		stats   = fs.Bool("cache-stats", false, "report sweep-point cache reuse on stderr after the runs")
+		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
+		memProf = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		trcFile = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +87,10 @@ func run(args []string) error {
 	}
 	opts.Seed = *seed
 	opts.Workers = *workers
+	// One cache for the whole invocation: with -id all, the 20 metric
+	// panels of Figs. 6-8 and table1 reuse each unique sweep point instead
+	// of recomputing it per panel.
+	opts.Cache = experiments.NewCache()
 
 	ids := experiments.IDs()
 	if *id != "all" {
@@ -84,6 +101,15 @@ func run(args []string) error {
 			return err
 		}
 	}
+	session, err := prof.Start(*cpuProf, *memProf, *trcFile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := session.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "ctjam-experiments: profiling:", err)
+		}
+	}()
 	for _, eid := range ids {
 		res, err := experiments.Run(eid, opts)
 		if errors.Is(err, experiments.ErrUnknownExperiment) {
@@ -111,6 +137,11 @@ func run(args []string) error {
 				return err
 			}
 		}
+	}
+	if *stats {
+		cs := opts.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "sweep-point cache: %d unique points computed, %d reused, %d schemes trained\n",
+			cs.PointMisses, cs.PointHits, cs.Schemes)
 	}
 	return nil
 }

@@ -15,6 +15,15 @@
 //	GET  /v1/healthz liveness plus the loaded model's dimensions
 //	GET  /v1/stats   request/state/error counters and mean latency
 //	POST /v1/reload  re-read the model file (same as SIGHUP)
+//
+// With -pprof (the default), the standard net/http/pprof profiling surface
+// is mounted under /debug/pprof/ on the same listener, so a live daemon can
+// be profiled with e.g.
+//
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
+//
+// Pass -pprof=false on exposed deployments where the debug surface should
+// not be reachable.
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -39,6 +49,7 @@ const maxBody = 8 << 20
 
 type server struct {
 	modelPath string
+	pprof     bool
 	snap      atomic.Pointer[rl.Snapshot]
 
 	reloads      atomic.Int64
@@ -80,6 +91,15 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/reload", s.handleReload)
+	if s.pprof {
+		// The DefaultServeMux registrations done by importing net/http/pprof
+		// don't apply to a private mux, so mount the handlers explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -231,6 +251,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	model := flag.String("model", "", "policy checkpoint to serve (CTJM model, CTDQ learner state or CTTC training checkpoint)")
+	pprofOn := flag.Bool("pprof", true, "expose net/http/pprof under /debug/pprof/ on the same listener")
 	flag.Parse()
 	if *model == "" {
 		fmt.Fprintln(os.Stderr, "ctjam-serve: -model is required")
@@ -241,6 +262,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("ctjam-serve: %v", err)
 	}
+	srv.pprof = *pprofOn
 	snap := srv.snap.Load()
 	log.Printf("serving %s (%d features -> %d actions, %d params) on %s",
 		*model, snap.StateDim(), snap.NumActions(), snap.ParamCount(), *addr)

@@ -9,6 +9,7 @@
 //	            [-eval 20000] [-compare] [-workers N] [-seed 1]
 //	            [-fault SPEC] [-checkpoint FILE|DIR] [-checkpoint-every N]
 //	            [-keep N] [-resume] [-stop-after N]
+//	            [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
 //
 // With -compare, the post-training evaluation also runs the passive, random
 // and static baselines; the four independent evaluations fan out over
@@ -27,6 +28,10 @@
 // becomes a new generation (ckpt-000123.ctdq, named by training slot), only
 // the newest N are retained, and -resume starts from the newest generation
 // that loads cleanly — a corrupt newest file falls back to the one before it.
+//
+// -cpuprofile, -memprofile and -trace profile the training + evaluation run
+// (pprof CPU/heap profiles and a runtime execution trace), the inputs DQN
+// hot-path optimisation work starts from.
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"ctjam"
 	"ctjam/internal/atomicfile"
 	"ctjam/internal/parallel"
+	"ctjam/internal/prof"
 )
 
 func main() {
@@ -63,10 +69,22 @@ func run(args []string) error {
 		keep    = fs.Int("keep", 0, "retain the newest N checkpoint generations in the -checkpoint directory (0 = single file)")
 		resume  = fs.Bool("resume", false, "resume from -checkpoint if it exists")
 		stop    = fs.Int("stop-after", 0, "stop cleanly once training reaches this slot (0 = run to completion)")
+		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile of training + evaluation to this file")
+		memProf = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		trcFile = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	session, err := prof.Start(*cpuProf, *memProf, *trcFile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := session.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "ctjam-train: profiling:", err)
+		}
+	}()
 	if (*resume || *stop > 0) && *ckpt == "" {
 		return fmt.Errorf("-resume and -stop-after require -checkpoint")
 	}

@@ -14,7 +14,8 @@
 //     scheme, Fig. 11a).
 //   - EmulateZigBee builds an "EmuBee" waveform: a Wi-Fi-transmittable
 //     emulation of a ZigBee signal (Fig. 1-2).
-//   - RunExperiment regenerates any of the paper's figures/tables by id.
+//   - RunExperiment / RunExperiments regenerate the paper's figures/tables
+//     by id, sharing one sweep-point cache across a batch.
 package ctjam
 
 import (
@@ -761,13 +762,34 @@ const (
 // RunExperiment regenerates one paper figure/table and writes the
 // paper-vs-measured comparison to w.
 func RunExperiment(w io.Writer, id string, scale ExperimentScale) error {
+	return RunExperiments(w, []string{id}, scale)
+}
+
+// RunExperiments regenerates several paper figures/tables in order, writing
+// each paper-vs-measured comparison to w separated by blank lines. The runs
+// share one sweep-point cache, so panels that revisit the same sweep points
+// (the 20 metric panels of Figs. 6-8, plus Table I) train and evaluate each
+// unique point exactly once; results are bit-identical to separate
+// RunExperiment calls.
+func RunExperiments(w io.Writer, ids []string, scale ExperimentScale) error {
 	opts := experiments.DefaultOptions()
 	if scale == ScaleQuick {
 		opts = experiments.QuickOptions()
 	}
-	res, err := experiments.Run(id, opts)
-	if err != nil {
-		return err
+	opts.Cache = experiments.NewCache()
+	for i, id := range ids {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			return err
+		}
+		if err := experiments.Format(w, res); err != nil {
+			return err
+		}
 	}
-	return experiments.Format(w, res)
+	return nil
 }

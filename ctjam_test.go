@@ -195,6 +195,29 @@ func TestRunExperimentQuick(t *testing.T) {
 	}
 }
 
+func TestRunExperimentsSharedCache(t *testing.T) {
+	// The batch facade shares one sweep-point cache: fig6a and fig7a sweep
+	// the same points, so the pair must cost barely more than one panel and
+	// produce exactly the per-id outputs, separated by a blank line.
+	var a, b, two bytes.Buffer
+	if err := RunExperiment(&a, "fig6a", ScaleQuick); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunExperiment(&b, "fig7a", ScaleQuick); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunExperiments(&two, []string{"fig6a", "fig7a"}, ScaleQuick); err != nil {
+		t.Fatal(err)
+	}
+	want := a.String() + "\n" + b.String()
+	if two.String() != want {
+		t.Fatalf("batched output differs from per-id runs:\ngot:\n%s\nwant:\n%s", two.String(), want)
+	}
+	if err := RunExperiments(&two, []string{"fig6a", "nope"}, ScaleQuick); err == nil {
+		t.Fatal("unknown experiment in batch: expected error")
+	}
+}
+
 func TestTrainQLearningAndEvaluate(t *testing.T) {
 	cfg := DefaultConfig()
 	policy, err := TrainQLearning(cfg, 15000)

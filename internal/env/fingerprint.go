@@ -1,0 +1,52 @@
+package env
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Fingerprint returns a canonical string identity of the configuration: two
+// configs produce equal fingerprints iff every simulation-relevant field
+// matches. Floats are rendered with strconv's shortest round-trippable form,
+// so distinct values never collide; fault injectors are rendered as their Go
+// value (%#v), which spells out the concrete type and every parameter —
+// Injector.Name alone would collide two burst injectors with different
+// probabilities. Experiment sweeps use this as the memoization key for
+// per-point compute reuse.
+func (c Config) Fingerprint() string {
+	var b strings.Builder
+	b.Grow(128)
+	b.WriteString("k=")
+	b.WriteString(strconv.Itoa(c.Channels))
+	b.WriteString(",m=")
+	b.WriteString(strconv.Itoa(c.SweepWidth))
+	b.WriteString(",jm=")
+	b.WriteString(strconv.Itoa(int(c.JammerMode)))
+	b.WriteString(",lh=")
+	b.WriteString(fmtFloat(c.LossHop))
+	b.WriteString(",lj=")
+	b.WriteString(fmtFloat(c.LossJam))
+	b.WriteString(",seed=")
+	b.WriteString(strconv.FormatInt(c.Seed, 10))
+	b.WriteString(",tx=")
+	writeFloats(&b, c.TxPowers)
+	b.WriteString(",jp=")
+	writeFloats(&b, c.JamPowers)
+	if c.Faults != nil {
+		b.WriteString(",fault=")
+		fmt.Fprintf(&b, "%#v", c.Faults)
+	}
+	return b.String()
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func writeFloats(b *strings.Builder, xs []float64) {
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(fmtFloat(x))
+	}
+}

@@ -1,0 +1,52 @@
+package env
+
+import (
+	"testing"
+
+	"ctjam/internal/fault"
+	"ctjam/internal/jammer"
+)
+
+// TestFingerprintDistinguishesFields asserts the Fingerprint contract the
+// sweep-point cache keys on: equal configs collide, and changing any
+// simulation-relevant field — including fault injector parameters, which
+// share an Injector.Name — separates the fingerprints.
+func TestFingerprintDistinguishesFields(t *testing.T) {
+	base := DefaultConfig()
+	if got, want := base.Fingerprint(), DefaultConfig().Fingerprint(); got != want {
+		t.Fatalf("equal configs fingerprint differently:\n%s\n%s", got, want)
+	}
+
+	variants := map[string]func(*Config){
+		"channels":   func(c *Config) { c.Channels = 12 },
+		"sweepwidth": func(c *Config) { c.SweepWidth = 2 },
+		"jammermode": func(c *Config) { c.JammerMode = jammer.ModeRandom },
+		"losshop":    func(c *Config) { c.LossHop = 51 },
+		"lossjam":    func(c *Config) { c.LossJam = 99 },
+		"seed":       func(c *Config) { c.Seed = 2 },
+		"txpowers":   func(c *Config) { c.TxPowers = append([]float64{5}, c.TxPowers[1:]...) },
+		"jampowers":  func(c *Config) { c.JamPowers = append([]float64{12}, c.JamPowers[1:]...) },
+		"fault": func(c *Config) {
+			c.Faults = fault.BurstNoise{Seed: c.Seed, Prob: 0.1, Len: 50, Power: 30}
+		},
+		"fault-params": func(c *Config) {
+			c.Faults = fault.BurstNoise{Seed: c.Seed, Prob: 0.2, Len: 50, Power: 30}
+		},
+		"fault-chain": func(c *Config) {
+			c.Faults = fault.Chain{
+				fault.BurstNoise{Seed: c.Seed, Prob: 0.1, Len: 50, Power: 30},
+				fault.AckLoss{Seed: c.Seed, Prob: 0.02},
+			}
+		},
+	}
+	seen := map[string]string{base.Fingerprint(): "base"}
+	for name, mutate := range variants {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		fp := cfg.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("variant %q collides with %q: %s", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ctjam/internal/core"
+	"ctjam/internal/env"
+	"ctjam/internal/metrics"
+	"ctjam/internal/parallel"
+	"ctjam/internal/policy"
+)
+
+// Cache memoizes sweep-point compute across experiment runs. The 20 metric
+// panels of Figs. 6-8 are 4 parameter sweeps crossed with 5 Table I metrics:
+// every metric panel of one sweep revisits exactly the same (config, engine,
+// budget, seed) points, and ST/AH/SH/AP/SP are all pure functions of one
+// counter set — so a run that shares a Cache trains and evaluates each unique
+// point exactly once and the remaining panels read the memoized Counters.
+// Table I itself coincides with the sweep points that evaluate
+// env.DefaultConfig (L_J = 100, lower bound 6) and is deduplicated the same
+// way.
+//
+// Two layers are memoized, both keyed by canonical fingerprints
+// (env.Config.Fingerprint plus the Options fields that feed the point):
+//
+//   - points: the Table I Counters of one evaluated sweep point;
+//   - schemes: the trained/solved policy.Scheme a point evaluates. Training
+//     never reads the evaluation seed (the DQN trains in a Seed+1000
+//     environment), so points differing only in evaluation seed share one
+//     trained scheme and are evaluated in lockstep through env.BatchRun.
+//
+// A Cache is safe for concurrent use from any number of experiment runs.
+// Each entry is computed exactly once: concurrent requests for an in-flight
+// key block until the first requester fills it. Memoization is exact — keys
+// include every input that determines the result — so cached results are
+// bit-identical to recomputation, and a Cache may be shared across runs with
+// different budgets or engines (their keys differ).
+type Cache struct {
+	mu      sync.Mutex
+	points  map[string]*pointEntry
+	schemes map[string]*schemeEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache returns an empty cache, ready to be shared across experiment runs
+// via Options.Cache.
+func NewCache() *Cache {
+	return &Cache{
+		points:  make(map[string]*pointEntry),
+		schemes: make(map[string]*schemeEntry),
+	}
+}
+
+// CacheStats reports cache effectiveness for one or more runs.
+type CacheStats struct {
+	// PointHits counts point lookups served from memoized Counters
+	// (including waits on a point another goroutine was computing).
+	PointHits int64
+	// PointMisses counts points this cache had to compute.
+	PointMisses int64
+	// Schemes counts unique trained/solved schemes held.
+	Schemes int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	schemes := len(c.schemes)
+	c.mu.Unlock()
+	return CacheStats{
+		PointHits:   c.hits.Load(),
+		PointMisses: c.misses.Load(),
+		Schemes:     schemes,
+	}
+}
+
+// pointEntry is one memoized sweep-point result. done is closed once c/err
+// are final; readers block on it.
+type pointEntry struct {
+	done chan struct{}
+	c    metrics.Counters
+	err  error
+}
+
+// schemeEntry is one memoized trained/solved scheme, same protocol.
+type schemeEntry struct {
+	done chan struct{}
+	s    *policy.Scheme
+	err  error
+}
+
+// claimPoint returns the entry for key and whether the caller claimed it. A
+// claimed entry MUST be filled (fields set, done closed) by the caller;
+// unclaimed entries are filled — now or eventually — by whoever claimed them.
+func (c *Cache) claimPoint(key string) (*pointEntry, bool) {
+	c.mu.Lock()
+	e, ok := c.points[key]
+	if !ok {
+		e = &pointEntry{done: make(chan struct{})}
+		c.points[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return e, false
+	}
+	c.misses.Add(1)
+	return e, true
+}
+
+// scheme returns the memoized scheme for key, building it on first request.
+// Concurrent requests for an in-flight key block until the build finishes.
+func (c *Cache) scheme(key string, build func() (*policy.Scheme, error)) (*policy.Scheme, error) {
+	c.mu.Lock()
+	e, ok := c.schemes[key]
+	if !ok {
+		e = &schemeEntry{done: make(chan struct{})}
+		c.schemes[key] = e
+	}
+	c.mu.Unlock()
+	if !ok {
+		e.s, e.err = build()
+		close(e.done)
+	} else {
+		<-e.done
+	}
+	return e.s, e.err
+}
+
+// pointKey is the canonical fingerprint of one sweep point: everything that
+// determines its Counters. cfg.Fingerprint covers the environment (including
+// the evaluation seed); Engine/TrainSlots/Seed pin the scheme construction
+// (see rlScheme) and Slots the evaluation length.
+func pointKey(o Options, cfg env.Config) string {
+	return fmt.Sprintf("pt|%s|eng=%d|train=%d|seed=%d|slots=%d",
+		cfg.Fingerprint(), int(o.Engine), o.TrainSlots, o.Seed, o.Slots)
+}
+
+// schemeKey fingerprints the trained/solved scheme a point evaluates. Scheme
+// construction never reads the evaluation seed — the DQN trains in a copy of
+// cfg reseeded to o.Seed+1000 and draws its own randomness from o.Seed, and
+// the MDP model is seed-free — so the evaluation seed is zeroed out of the
+// key and points differing only in it share one scheme.
+func schemeKey(o Options, cfg env.Config) string {
+	cfg.Seed = 0
+	return fmt.Sprintf("sc|%s|eng=%d|train=%d|seed=%d",
+		cfg.Fingerprint(), int(o.Engine), o.TrainSlots, o.Seed)
+}
+
+// rlScheme builds the engine-selected batched scheme of the paper's "RL FH"
+// defense for one environment configuration, training the DQN if the engine
+// asks for it. This is the (expensive) compute memoized by Cache.scheme.
+func rlScheme(o Options, cfg env.Config) (*policy.Scheme, error) {
+	switch o.Engine {
+	case EngineDQN:
+		acfg := core.DefaultDQNAgentConfig(cfg.Channels, len(cfg.TxPowers), cfg.SweepWidth)
+		acfg.Seed = o.Seed
+		acfg.Epsilon.DecaySteps = o.TrainSlots * 2 / 3
+		agent, err := core.NewDQNAgent(acfg)
+		if err != nil {
+			return nil, err
+		}
+		trainCfg := cfg
+		trainCfg.Seed = o.Seed + 1000
+		trainEnv, err := env.New(trainCfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := agent.Train(trainEnv, o.TrainSlots); err != nil {
+			return nil, err
+		}
+		return agent.Scheme()
+	case EngineMDP:
+		model, err := core.NewModel(core.ParamsFromEnv(cfg))
+		if err != nil {
+			return nil, err
+		}
+		agent, err := core.NewMDPAgent(model, nil, cfg.Channels, cfg.SweepWidth)
+		if err != nil {
+			return nil, err
+		}
+		return agent.Scheme(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown engine %v", o.Engine)
+	}
+}
+
+// runPoints evaluates one Table I counter set per config through the shared
+// point cache. Configs are grouped by scheme fingerprint; each group's
+// not-yet-cached points are evaluated together in lockstep through
+// policy.Scheme.Run / env.BatchRun, so one batched network forward per slot
+// carries every sibling point of a shared agent. Groups fan out over
+// o.Workers goroutines.
+//
+// Determinism: point results are pure functions of their keys, BatchRun is
+// bit-identical to serial runs at any batch size, and counters are collected
+// into a slice indexed by config — so the output is bit-for-bit independent
+// of worker count, group composition and prior cache state. label(i)
+// describes config i in error messages.
+func runPoints(o Options, cfgs []env.Config, label func(i int) string) ([]metrics.Counters, error) {
+	cache := o.Cache
+	if cache == nil {
+		// withFloor normally installs a private cache; a nil cache here
+		// means a direct internal call, which still wants intra-call dedup.
+		cache = NewCache()
+	}
+
+	// Group configs by the scheme they evaluate, preserving first-appearance
+	// order so work distribution is deterministic.
+	var order []string
+	groups := make(map[string][]int, len(cfgs))
+	for i, cfg := range cfgs {
+		k := schemeKey(o, cfg)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+
+	entries := make([]*pointEntry, len(cfgs))
+	err := parallel.ForEach(o.Workers, len(order), func(g int) error {
+		idxs := groups[order[g]]
+		// Claim the group's uncached points. Duplicate keys inside the group
+		// (identical configs) resolve to one claim; the rest read the entry.
+		claimed := idxs[:0:0]
+		for _, i := range idxs {
+			e, claim := cache.claimPoint(pointKey(o, cfgs[i]))
+			entries[i] = e
+			if claim {
+				claimed = append(claimed, i)
+			}
+		}
+		if len(claimed) == 0 {
+			return nil
+		}
+		// A claimed entry must always be filled, or waiters deadlock.
+		fill := func(cs []metrics.Counters, err error) {
+			for j, i := range claimed {
+				e := entries[i]
+				if err != nil {
+					e.err = err
+				} else {
+					e.c = cs[j]
+				}
+				close(e.done)
+			}
+		}
+		scheme, err := cache.scheme(order[g], func() (*policy.Scheme, error) {
+			return rlScheme(o, cfgs[claimed[0]])
+		})
+		if err != nil {
+			fill(nil, err)
+			return nil
+		}
+		envs := make([]*env.Environment, len(claimed))
+		for j, i := range claimed {
+			if envs[j], err = env.New(cfgs[i]); err != nil {
+				fill(nil, err)
+				return nil
+			}
+		}
+		cs, err := scheme.Run(envs, o.Slots)
+		fill(cs, err)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]metrics.Counters, len(cfgs))
+	var firstErr error
+	for i, e := range entries {
+		// Entries claimed by a concurrent run may still be in flight.
+		<-e.done
+		if e.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", label(i), e.err)
+			}
+			continue
+		}
+		out[i] = e.c
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -65,6 +65,15 @@ type Options struct {
 	// its randomness from its own config seed and results are collected
 	// into slices indexed by point.
 	Workers int
+	// Cache memoizes per-point training and evaluation. Passing one
+	// NewCache() value to several Run calls makes panels that revisit the
+	// same (config, engine, budget, seed) points — e.g. the 20 panels of
+	// Figs. 6-8, whose 4 sweeps each back 5 metric panels, plus table1 —
+	// train and evaluate each unique point exactly once. Results are
+	// bit-identical with and without sharing; keys include every budget
+	// field, so one cache may serve runs with different options. nil gets
+	// a private per-run cache (no cross-run reuse).
+	Cache *Cache
 }
 
 // DefaultOptions mirrors the paper's experiment scale.
@@ -99,6 +108,9 @@ func (o Options) withFloor() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Cache == nil {
+		o.Cache = NewCache()
 	}
 	return o
 }

@@ -82,3 +82,27 @@ func TestGoldenTable1(t *testing.T) {
 	}
 	checkGolden(t, "table1", res)
 }
+
+func TestGoldenFig11a(t *testing.T) {
+	res, err := Run("fig11a", goldenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig11a", res)
+}
+
+func TestGoldenFig11b(t *testing.T) {
+	res, err := Run("fig11b", goldenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig11b", res)
+}
+
+func TestGoldenStealth(t *testing.T) {
+	res, err := Run("stealth", goldenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "stealth", res)
+}

@@ -7,7 +7,6 @@ import (
 	"ctjam/internal/env"
 	"ctjam/internal/jammer"
 	"ctjam/internal/metrics"
-	"ctjam/internal/parallel"
 )
 
 // metric extracts one Table I rate from run counters.
@@ -124,7 +123,11 @@ var sweepLp = sweep{
 }
 
 // rlAgent builds the engine-selected implementation of the RL FH scheme for
-// one environment configuration, training it if needed.
+// one environment configuration as a serial env.Agent, training it if
+// needed. Sweep points no longer evaluate through this path — they go through
+// rlScheme and the batched policy engine (see cache.go) — but the field
+// simulator still drives its stateful iot runs with a serial agent, and the
+// equivalence tests pin the batched path against this one.
 func rlAgent(o Options, cfg env.Config) (env.Agent, error) {
 	switch o.Engine {
 	case EngineDQN:
@@ -156,19 +159,6 @@ func rlAgent(o Options, cfg env.Config) (env.Agent, error) {
 	}
 }
 
-// runSweepPoint evaluates the RL FH scheme at one sweep point.
-func runSweepPoint(o Options, cfg env.Config) (metrics.Counters, error) {
-	agent, err := rlAgent(o, cfg)
-	if err != nil {
-		return metrics.Counters{}, err
-	}
-	e, err := env.New(cfg)
-	if err != nil {
-		return metrics.Counters{}, err
-	}
-	return env.Run(e, agent, o.Slots)
-}
-
 // sweepModes are the two jammer power modes every Figs. 6-8 panel compares.
 var sweepModes = []struct {
 	mode jammer.PowerMode
@@ -179,9 +169,12 @@ var sweepModes = []struct {
 }
 
 // sweepRunner builds the Runner for one (sweep, metric) panel of Figs. 6-8.
-// Every (mode, x) point is independent — it builds its own env.Config with
-// an explicit seed — so the points fan out over o.Workers goroutines, with
-// each counter written to its own pre-sized slot.
+// Every (mode, x) point builds its own env.Config with an explicit seed; the
+// points are evaluated through runPoints, which deduplicates them against
+// o.Cache (all five metric panels of one sweep share the same points), runs
+// cache-miss points through the batched inference engine, and fans the work
+// out over o.Workers goroutines with each counter written to its own
+// pre-sized slot.
 func sweepRunner(sw sweep, m metric) Runner {
 	return func(o Options) (*Result, error) {
 		res := &Result{
@@ -191,16 +184,14 @@ func sweepRunner(sw sweep, m metric) Runner {
 			PaperNote: sw.paperNote[m.name],
 		}
 		nx := len(sw.xs)
-		counters, err := parallel.Map(o.Workers, len(sweepModes)*nx,
-			func(p int) (metrics.Counters, error) {
-				md, x := sweepModes[p/nx], sw.xs[p%nx]
-				cfg := sw.configure(x, md.mode, o.Seed)
-				c, err := runSweepPoint(o, cfg)
-				if err != nil {
-					return metrics.Counters{}, fmt.Errorf("%s=%v mode=%v: %w", sw.name, x, md.mode, err)
-				}
-				return c, nil
-			})
+		cfgs := make([]env.Config, len(sweepModes)*nx)
+		for p := range cfgs {
+			md, x := sweepModes[p/nx], sw.xs[p%nx]
+			cfgs[p] = sw.configure(x, md.mode, o.Seed)
+		}
+		counters, err := runPoints(o, cfgs, func(p int) string {
+			return fmt.Sprintf("%s=%v mode=%v", sw.name, sw.xs[p%nx], sweepModes[p/nx].mode)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -217,7 +208,10 @@ func sweepRunner(sw sweep, m metric) Runner {
 }
 
 // runTable1 evaluates all Table I metrics at the default parameters for
-// both jammer modes.
+// both jammer modes. All five metrics come from one run per mode, and the
+// runs go through the shared point cache: the default-parameter points
+// coincide with the L_J=100 and lower-bound-6 sweep points at the same seed,
+// so a cache-sharing `all` run reads them back instead of recomputing.
 func runTable1(o Options) (*Result, error) {
 	res := &Result{
 		ID:        "table1",
@@ -227,13 +221,16 @@ func runTable1(o Options) (*Result, error) {
 		XTicks:    []string{"ST", "AH", "SH", "AP", "SP"},
 		PaperNote: "Table I defines ST/AH/SH/AP/SP; §IV-C reports ST~78% at the defaults",
 	}
-	counters, err := parallel.Map(o.Workers, len(sweepModes),
-		func(p int) (metrics.Counters, error) {
-			cfg := env.DefaultConfig()
-			cfg.JammerMode = sweepModes[p].mode
-			cfg.Seed = o.Seed
-			return runSweepPoint(o, cfg)
-		})
+	cfgs := make([]env.Config, len(sweepModes))
+	for p := range cfgs {
+		cfg := env.DefaultConfig()
+		cfg.JammerMode = sweepModes[p].mode
+		cfg.Seed = o.Seed
+		cfgs[p] = cfg
+	}
+	counters, err := runPoints(o, cfgs, func(p int) string {
+		return fmt.Sprintf("table1 mode=%v", sweepModes[p].mode)
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,21 @@
+package policy
+
+import (
+	"ctjam/internal/env"
+	"ctjam/internal/metrics"
+)
+
+// Run evaluates the scheme over the given environments in lockstep for the
+// given number of slots, returning one Table I counter set per environment.
+// It is the batched-evaluation entry point for experiment sweeps: every slot
+// gathers all len(envs) encoded states into a single policy call (one
+// nn.ForwardBatch for DQN schemes), and by the env.BatchRun determinism
+// contract the results are bit-identical to len(envs) serial env.Run calls
+// over the same environments, at any batch size.
+func (s *Scheme) Run(envs []*env.Environment, slots int) ([]metrics.Counters, error) {
+	b, err := s.NewBatch(len(envs))
+	if err != nil {
+		return nil, err
+	}
+	return env.BatchRun(envs, b, slots)
+}

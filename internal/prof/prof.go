@@ -1,0 +1,98 @@
+// Package prof wires the standard runtime profilers behind the repo's CLI
+// flags: a pprof CPU profile, a heap profile written at stop, and a runtime
+// execution trace. The binaries (ctjam-experiments, ctjam-train) start one
+// session around their hot work and feed the outputs to `go tool pprof` /
+// `go tool trace`; ctjam-serve exposes the live equivalents over
+// net/http/pprof instead.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Session holds the resources of one profiling run. The zero value (all
+// outputs disabled) is valid and Stop on it is a no-op.
+type Session struct {
+	cpuFile   *os.File
+	traceFile *os.File
+	memPath   string
+}
+
+// Start begins the requested profiles; empty paths disable the respective
+// output. On error every profile already started is stopped and its file
+// closed, so a failed Start never leaks a running profiler.
+func Start(cpuPath, memPath, tracePath string) (*Session, error) {
+	s := &Session{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: cpu profile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			s.abort()
+			return nil, fmt.Errorf("prof: trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			s.abort()
+			return nil, fmt.Errorf("prof: trace: %w", err)
+		}
+		s.traceFile = f
+	}
+	return s, nil
+}
+
+// abort rolls back the profiles already running after a partial Start.
+func (s *Session) abort() {
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		s.cpuFile.Close()
+		s.cpuFile = nil
+	}
+}
+
+// Stop finishes every active profile: it stops the CPU profile and trace,
+// and writes the heap profile (after a GC, so it reflects live memory). It
+// returns the first error encountered but always attempts every shutdown.
+func (s *Session) Stop() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(s.cpuFile.Close())
+		s.cpuFile = nil
+	}
+	if s.traceFile != nil {
+		trace.Stop()
+		keep(s.traceFile.Close())
+		s.traceFile = nil
+	}
+	if s.memPath != "" {
+		f, err := os.Create(s.memPath)
+		if err != nil {
+			keep(fmt.Errorf("prof: heap profile: %w", err))
+		} else {
+			runtime.GC() // capture live objects, not garbage
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+		s.memPath = ""
+	}
+	return firstErr
+}

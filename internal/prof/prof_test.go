@@ -1,0 +1,72 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSessionWritesAllProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	trc := filepath.Join(dir, "trace.out")
+	s, err := Start(cpu, mem, trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem, trc} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s: empty profile", path)
+		}
+	}
+	// Stop is idempotent on a drained session.
+	if err := s.Stop(); err != nil {
+		t.Errorf("second Stop: %v", err)
+	}
+}
+
+func TestSessionDisabled(t *testing.T) {
+	s, err := Start("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Errorf("Stop on disabled session: %v", err)
+	}
+	var zero Session
+	if err := zero.Stop(); err != nil {
+		t.Errorf("Stop on zero session: %v", err)
+	}
+}
+
+func TestStartRollsBackOnError(t *testing.T) {
+	// An unreachable trace path must stop the already-started CPU profile,
+	// or the next Start would fail with "cpu profiling already in use".
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	if _, err := Start(cpu, "", filepath.Join(dir, "missing", "trace.out")); err == nil {
+		t.Fatal("expected error for unreachable trace path")
+	}
+	s, err := Start(cpu, "", "")
+	if err != nil {
+		t.Fatalf("CPU profiler left running after failed Start: %v", err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,6 +21,17 @@ go test -race -count=1 -run 'TestBatchSerialEquivalence|TestBatchValidation' ./i
 go test -race -count=1 -run 'TestSnapshot' ./internal/rl
 go test -race -count=1 ./cmd/ctjam-serve
 
+# The sweep-point cache shares memoized counters and trained schemes across
+# concurrent experiment runs; its claim/wait protocol must stay race-clean
+# and bit-identical to uncached serial runs.
+go test -race -count=1 -run 'TestSweepCache|TestBatchedSerialEvalCounters' ./internal/experiments
+
+# Benchmark smoke: one iteration of the headline cache benchmark and the
+# batched policy engine, so the committed BENCH numbers stay regenerable
+# (full runs via scripts/bench.sh).
+go test -run '^$' -bench '^BenchmarkAllSweeps$' -benchtime 1x .
+go test -run '^$' -bench '^BenchmarkPolicyBatch$' -benchtime 1x ./internal/policy
+
 # Fuzz smoke: a few seconds per target catches shallow panics and keeps the
 # committed corpora replaying. Override the budget with CHECK_FUZZTIME
 # (e.g. CHECK_FUZZTIME=30s for a longer local campaign); full-length runs
