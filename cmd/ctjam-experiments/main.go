@@ -5,6 +5,8 @@
 //	ctjam-experiments [-id fig6a] [-scale paper|quick] [-engine mdp|dqn]
 //	                  [-workers N] [-csv dir] [-list] [-cache-stats]
 //	                  [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
+//	                  [-distribute addr | -worker URL |
+//	                   -shards N -shard-index I -spool DIR | -merge -spool DIR]
 //
 // With -id all (the default) every registered experiment runs in order,
 // printing paper-vs-measured tables; -csv additionally writes one CSV per
@@ -15,12 +17,34 @@
 // (config, engine, budget) point exactly once; -cache-stats reports the
 // reuse on stderr.
 //
+// Distributed execution (see internal/dist and DESIGN.md) shards those
+// unique sweep points across processes, with output bit-identical to a
+// single-process run:
+//
+//	-distribute addr   coordinate: serve work units over HTTP on addr
+//	                   (":0" picks a port, reported on stderr), wait for
+//	                   workers to return every result, then print the
+//	                   experiments from the merged cache.
+//	-worker URL        work: poll the coordinator at URL (e.g.
+//	                   http://host:9077), evaluate assigned units locally,
+//	                   report results, exit when the run completes.
+//	-shards N -shard-index I -spool DIR
+//	                   static mode (no networking): evaluate shard I of a
+//	                   round-robin N-way split of the work list and write
+//	                   DIR/shard-III-of-NNN.json atomically.
+//	-merge -spool DIR  merge a complete spool set from DIR and print the
+//	                   experiments from it. Fails unless every shard file
+//	                   is present, consistent, and covers every unit.
+//
+// Any shard or worker failure exits non-zero.
+//
 // -cpuprofile, -memprofile and -trace write pprof CPU/heap profiles and a
 // runtime execution trace covering the experiment runs, for feeding
 // `go tool pprof` / `go tool trace`.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,6 +52,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"ctjam/internal/dist"
 	"ctjam/internal/experiments"
 	"ctjam/internal/prof"
 )
@@ -53,9 +78,54 @@ func run(args []string) error {
 		cpuProf = fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
 		memProf = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		trcFile = fs.String("trace", "", "write a runtime execution trace to this file")
+
+		distribute = fs.String("distribute", "", "coordinate a distributed run: serve work units on this addr:port, wait for -worker processes, then print the experiments")
+		workerURL  = fs.String("worker", "", "run as a worker for the coordinator at this base URL (e.g. http://host:9077) and exit")
+		workerID   = fs.String("worker-id", "", "worker name in protocol requests (default host-pid)")
+		shards     = fs.Int("shards", 0, "static sharding: total shard count (requires -shard-index and -spool)")
+		shardIndex = fs.Int("shard-index", -1, "static sharding: this process's shard index in [0,shards)")
+		spool      = fs.String("spool", "", "static sharding: directory for shard result files")
+		merge      = fs.Bool("merge", false, "merge the spool files in -spool, then print the experiments from them")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	modes := 0
+	for _, on := range []bool{*distribute != "", *workerURL != "", *shards > 0, *merge} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return errors.New("-distribute, -worker, -shards and -merge are mutually exclusive")
+	}
+	if *shards > 0 && (*shardIndex < 0 || *spool == "") {
+		return errors.New("-shards requires -shard-index and -spool")
+	}
+	if *shardIndex >= 0 && *shards <= 0 {
+		return errors.New("-shard-index requires -shards")
+	}
+	if *merge && *spool == "" {
+		return errors.New("-merge requires -spool")
+	}
+	if *spool != "" && *shards <= 0 && !*merge {
+		return errors.New("-spool requires -shards or -merge")
+	}
+
+	if *workerURL != "" {
+		id := *workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		w := dist.NewWorker(*workerURL, dist.WorkerOptions{ID: id, Workers: *workers})
+		n, err := w.Run(context.Background())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ctjam-experiments: worker %s evaluated %d units\n", id, n)
+		return nil
 	}
 
 	if *list {
@@ -96,6 +166,45 @@ func run(args []string) error {
 	if *id != "all" {
 		ids = []string{*id}
 	}
+
+	if *shards > 0 {
+		if err := os.MkdirAll(*spool, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*spool, dist.SpoolName(*shardIndex, *shards))
+		n, err := dist.RunShard(context.Background(), opts, ids, *shardIndex, *shards, path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ctjam-experiments: shard %d/%d: %d units -> %s\n", *shardIndex, *shards, n, path)
+		return nil
+	}
+	if *merge {
+		units, err := dist.UnitsFor(opts, ids)
+		if err != nil {
+			return err
+		}
+		n, err := dist.MergeSpools(*spool, opts.Cache, units)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ctjam-experiments: merged %d units from %s\n", n, *spool)
+	}
+	if *distribute != "" {
+		coord, err := dist.NewCoordinator(opts, ids, dist.CoordinatorOptions{})
+		if err != nil {
+			return err
+		}
+		logf := func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "ctjam-experiments: "+format+"\n", a...)
+		}
+		if err := coord.ListenAndWait(context.Background(), *distribute, logf); err != nil {
+			return err
+		}
+		n := coord.ImportInto(opts.Cache)
+		logf("imported %d distributed units", n)
+	}
+
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return err

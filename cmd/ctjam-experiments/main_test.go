@@ -40,6 +40,43 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+func TestRunModeValidation(t *testing.T) {
+	cases := [][]string{
+		{"-distribute", ":0", "-worker", "http://x"},
+		{"-distribute", ":0", "-merge"},
+		{"-worker", "http://x", "-shards", "2", "-shard-index", "0", "-spool", "d"},
+		{"-shards", "2"},      // missing -shard-index and -spool
+		{"-shard-index", "0"}, // missing -shards
+		{"-merge"},            // missing -spool
+		{"-spool", "d"},       // missing -shards or -merge
+		{"-shards", "2", "-shard-index", "5", "-spool", "d"}, // index out of range
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted an invalid mode combination", args)
+		}
+	}
+}
+
+func TestRunStaticShardRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, idx := range []string{"0", "1"} {
+		if err := run([]string{"-id", "table1", "-scale", "quick", "-shards", "2", "-shard-index", idx, "-spool", dir}); err != nil {
+			t.Fatalf("shard %s: %v", idx, err)
+		}
+	}
+	if err := run([]string{"-id", "table1", "-scale", "quick", "-merge", "-spool", dir}); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	// An incomplete spool set must fail the merge, not silently recompute.
+	if err := os.Remove(filepath.Join(dir, "shard-001-of-002.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-id", "table1", "-scale", "quick", "-merge", "-spool", dir}); err == nil {
+		t.Fatal("merge of an incomplete shard set succeeded")
+	}
+}
+
 func TestRunWorkersFlag(t *testing.T) {
 	for _, w := range []string{"1", "4"} {
 		if err := run([]string{"-id", "fig10a", "-scale", "quick", "-workers", w}); err != nil {

@@ -1,0 +1,236 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ctjam/internal/experiments"
+)
+
+// testOptions is a deliberately tiny budget: conformance tests pin exact
+// byte equality, so they need the full pipeline, not convergence.
+func testOptions() experiments.Options {
+	return experiments.Options{
+		Slots:      200,
+		Engine:     experiments.EngineMDP,
+		TrainSlots: 200,
+		Seed:       1,
+		Workers:    2,
+	}
+}
+
+// cacheBackedIDs filters the registry down to the experiments whose compute
+// is distributable — the 20 Figs. 6-8 metric panels plus Table I.
+func cacheBackedIDs(t *testing.T, o experiments.Options) []string {
+	t.Helper()
+	var ids []string
+	for _, id := range experiments.IDs() {
+		units, err := UnitsFor(o, []string{id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(units) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) != 21 {
+		t.Fatalf("expected 21 cache-backed experiments, got %d: %v", len(ids), ids)
+	}
+	return ids
+}
+
+// trace runs every id under o and returns the full result set as one
+// indented JSON document — the byte-equality unit of the conformance tests.
+func trace(t *testing.T, o experiments.Options, ids []string) []byte {
+	t.Helper()
+	var results []*experiments.Result
+	for _, id := range ids {
+		res, err := experiments.Run(id, o)
+		if err != nil {
+			t.Fatalf("run %s: %v", id, err)
+		}
+		results = append(results, res)
+	}
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDistributedSerialEquivalence pins the tentpole guarantee: static
+// sharding at shard counts 1, 2 and 5, and the coordinator/worker HTTP
+// protocol with three concurrent workers, all produce experiment traces
+// byte-identical to a single-process run over every cache-backed id.
+func TestDistributedSerialEquivalence(t *testing.T) {
+	o := testOptions()
+	ids := cacheBackedIDs(t, o)
+
+	base := o
+	base.Cache = experiments.NewCache()
+	baseline := trace(t, base, ids)
+
+	units, err := UnitsFor(o, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) == 0 {
+		t.Fatal("no units to distribute")
+	}
+
+	for _, shards := range []int{1, 2, 5} {
+		shards := shards
+		t.Run(fmt.Sprintf("static-%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			for s := 0; s < shards; s++ {
+				n, err := RunShard(context.Background(), o, ids, s, shards, filepath.Join(dir, SpoolName(s, shards)))
+				if err != nil {
+					t.Fatalf("shard %d/%d: %v", s, shards, err)
+				}
+				t.Logf("shard %d/%d evaluated %d units", s, shards, n)
+			}
+			merged := o
+			merged.Cache = experiments.NewCache()
+			n, err := MergeSpools(dir, merged.Cache, units)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(units) {
+				t.Fatalf("merged %d units, want %d", n, len(units))
+			}
+			got := trace(t, merged, ids)
+			if !bytes.Equal(got, baseline) {
+				t.Errorf("static %d-shard trace differs from single-process baseline", shards)
+			}
+			st := merged.Cache.Stats()
+			if st.PointMisses != 0 {
+				t.Errorf("merged run recomputed %d points; want pure cache hits", st.PointMisses)
+			}
+		})
+	}
+
+	t.Run("http-3-workers", func(t *testing.T) {
+		coord, err := NewCoordinator(o, ids, CoordinatorOptions{Linger: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(coord.Handler())
+		defer srv.Close()
+
+		var wg sync.WaitGroup
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				w := NewWorker(srv.URL, WorkerOptions{
+					ID:           fmt.Sprintf("w%d", i),
+					Workers:      2,
+					MaxUnits:     4,
+					PollInterval: 10 * time.Millisecond,
+				})
+				if _, err := w.Run(context.Background()); err != nil {
+					t.Errorf("worker %d: %v", i, err)
+				}
+			}(i)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		if err := coord.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+
+		merged := o
+		merged.Cache = experiments.NewCache()
+		if n := coord.ImportInto(merged.Cache); n != len(units) {
+			t.Fatalf("imported %d units, want %d", n, len(units))
+		}
+		got := trace(t, merged, ids)
+		if !bytes.Equal(got, baseline) {
+			t.Error("distributed HTTP trace differs from single-process baseline")
+		}
+	})
+}
+
+// TestDistributedWorkerLossRetry kills a worker mid-lease and checks the
+// coordinator re-leases its units after expiry, converging on output
+// byte-identical to the single-process run.
+func TestDistributedWorkerLossRetry(t *testing.T) {
+	o := testOptions()
+	ids := []string{"fig6a", "table1"}
+
+	base := o
+	base.Cache = experiments.NewCache()
+	baseline := trace(t, base, ids)
+
+	units, err := UnitsFor(o, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := NewCoordinator(o, ids, CoordinatorOptions{
+		Lease:       100 * time.Millisecond,
+		MaxAttempts: 3,
+		Linger:      time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// A worker that claims a batch and dies without reporting.
+	body, _ := json.Marshal(pollRequest{Worker: "doomed", Max: 6})
+	resp, err := http.Post(srv.URL+"/v1/poll", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var claimed pollResponse
+	if err := json.NewDecoder(resp.Body).Decode(&claimed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(claimed.Units) == 0 {
+		t.Fatal("doomed worker claimed no units")
+	}
+
+	// A healthy worker picks up everything, including the re-leased units.
+	done := make(chan error, 1)
+	go func() {
+		w := NewWorker(srv.URL, WorkerOptions{ID: "healthy", Workers: 2, PollInterval: 20 * time.Millisecond})
+		_, err := w.Run(context.Background())
+		done <- err
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("healthy worker: %v", err)
+	}
+
+	st := coord.Snapshot()
+	if st.Attempts <= st.Total {
+		t.Errorf("attempts = %d, want > %d (the doomed worker's units must have been re-leased)", st.Attempts, st.Total)
+	}
+
+	merged := o
+	merged.Cache = experiments.NewCache()
+	if n := coord.ImportInto(merged.Cache); n != len(units) {
+		t.Fatalf("imported %d units, want %d", n, len(units))
+	}
+	got := trace(t, merged, ids)
+	if !bytes.Equal(got, baseline) {
+		t.Error("post-retry trace differs from single-process baseline")
+	}
+}

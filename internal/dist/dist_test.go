@@ -1,0 +1,243 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ctjam/internal/env"
+	"ctjam/internal/experiments"
+	"ctjam/internal/fault"
+	"ctjam/internal/metrics"
+)
+
+func TestShardUnitsPartition(t *testing.T) {
+	o := testOptions()
+	units, err := UnitsFor(o, []string{"fig6a", "fig6d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3, 7, len(units) + 5} {
+		seen := make(map[string]int)
+		for s := 0; s < shards; s++ {
+			mine, err := ShardUnits(units, s, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, u := range mine {
+				seen[u.Key]++
+			}
+		}
+		if len(seen) != len(units) {
+			t.Errorf("shards=%d covered %d unique units, want %d", shards, len(seen), len(units))
+		}
+		for k, n := range seen {
+			if n != 1 {
+				t.Errorf("shards=%d: unit %s assigned %d times", shards, k, n)
+			}
+		}
+	}
+	if _, err := ShardUnits(units, 0, 0); err == nil {
+		t.Error("ShardUnits accepted zero shard count")
+	}
+	if _, err := ShardUnits(units, 2, 2); err == nil {
+		t.Error("ShardUnits accepted out-of-range index")
+	}
+	if _, err := ShardUnits(units, -1, 2); err == nil {
+		t.Error("ShardUnits accepted negative index")
+	}
+}
+
+func TestWireConfigRoundTrip(t *testing.T) {
+	cfg := env.DefaultConfig()
+	cfg.Seed = 42
+	wc, err := wireConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wc.envConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cfg) {
+		t.Errorf("round trip drifted:\ngot  %+v\nwant %+v", got, cfg)
+	}
+}
+
+func TestWireConfigRejectsInjector(t *testing.T) {
+	inj, err := fault.Parse("burst:p=0.1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := env.DefaultConfig()
+	cfg.Faults = inj
+	if _, err := wireConfig(cfg); err == nil {
+		t.Error("wireConfig accepted a config with a live fault injector")
+	}
+}
+
+func TestWireConfigFaultSpecDecode(t *testing.T) {
+	cfg := env.DefaultConfig()
+	wc, err := wireConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc.FaultSpec = "burst:p=0.1"
+	got, err := wc.envConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Faults == nil {
+		t.Error("fault spec did not decode into an injector")
+	}
+	wc.FaultSpec = "no-such-fault:p=1"
+	if _, err := wc.envConfig(); err == nil {
+		t.Error("bad fault spec decoded without error")
+	}
+}
+
+func TestEvaluateKeyMismatch(t *testing.T) {
+	o := testOptions()
+	units, err := UnitsFor(o, []string{"table1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) < 2 {
+		t.Fatalf("table1 yielded %d units, want 2", len(units))
+	}
+	units[0].Key = "tampered"
+	results := evaluate(context.Background(), units, experiments.NewCache(), 1)
+	if !strings.Contains(results[0].Err, "key mismatch") {
+		t.Errorf("tampered unit: Err = %q, want key mismatch", results[0].Err)
+	}
+	if results[1].Err != "" {
+		t.Errorf("healthy sibling failed too: %q", results[1].Err)
+	}
+}
+
+// writeSpool writes one spool file for merge-error tests.
+func writeSpool(t *testing.T, dir string, sp Spool) {
+	t.Helper()
+	data, err := json.MarshalIndent(sp, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, SpoolName(sp.Shard, sp.Shards))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeSpoolsErrors(t *testing.T) {
+	units := []Unit{{Key: "a"}, {Key: "b"}}
+	res := func(keys ...string) []UnitResult {
+		out := make([]UnitResult, len(keys))
+		for i, k := range keys {
+			out[i] = UnitResult{Key: k, Counters: metrics.Counters{Slots: 1}}
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		spools []Spool
+		want   string
+	}{
+		{"empty dir", nil, "no spool files"},
+		{"missing shard", []Spool{{Shard: 0, Shards: 2, Results: res("a")}}, "incomplete shard set"},
+		{"inconsistent counts", []Spool{
+			{Shard: 0, Shards: 2, Results: res("a")},
+			{Shard: 1, Shards: 3, Results: res("b")},
+		}, "declares 3 shards"},
+		{"index out of range", []Spool{{Shard: 5, Shards: 1, Results: res("a", "b")}}, "out of range"},
+		{"result with error", []Spool{{Shard: 0, Shards: 1, Results: []UnitResult{{Key: "a", Err: "boom"}}}}, "carries error"},
+		{"duplicate unit", []Spool{
+			{Shard: 0, Shards: 2, Results: res("a")},
+			{Shard: 1, Shards: 2, Results: res("a")},
+		}, "already imported"},
+		{"missing unit", []Spool{{Shard: 0, Shards: 1, Results: res("a")}}, "missing unit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			for _, sp := range tc.spools {
+				writeSpool(t, dir, sp)
+			}
+			_, err := MergeSpools(dir, experiments.NewCache(), units)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCoordinatorNoUnits(t *testing.T) {
+	// fig2b is not cache-backed: the run completes with nothing to do.
+	coord, err := NewCoordinator(testOptions(), []string{"fig2b"}, CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := coord.Wait(ctx); err != nil {
+		t.Errorf("empty run did not complete cleanly: %v", err)
+	}
+}
+
+func TestCoordinatorUnknownID(t *testing.T) {
+	if _, err := NewCoordinator(testOptions(), []string{"no-such-id"}, CoordinatorOptions{}); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestCoordinatorFailsAfterMaxAttempts(t *testing.T) {
+	coord, err := NewCoordinator(testOptions(), []string{"table1"}, CoordinatorOptions{
+		MaxAttempts: 1,
+		Linger:      time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poll := coord.assign(1)
+	if len(poll.Units) != 1 {
+		t.Fatalf("assigned %d units, want 1", len(poll.Units))
+	}
+	coord.record([]UnitResult{{Key: poll.Units[0].Key, Err: "synthetic failure"}})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	err = coord.Wait(ctx)
+	if err == nil || !strings.Contains(err.Error(), "synthetic failure") {
+		t.Errorf("Wait = %v, want fatal unit failure", err)
+	}
+	st := coord.Snapshot()
+	if !st.Failed || st.LastError == "" {
+		t.Errorf("status does not report the failure: %+v", st)
+	}
+}
+
+func TestWorkerNeverConnected(t *testing.T) {
+	w := NewWorker("http://127.0.0.1:1", WorkerOptions{PollInterval: time.Millisecond})
+	if _, err := w.Run(context.Background()); err == nil {
+		t.Error("worker with unreachable coordinator exited cleanly despite never connecting")
+	}
+}
+
+func TestWorkerContextCancel(t *testing.T) {
+	coord, err := NewCoordinator(testOptions(), []string{"fig2b"}, CoordinatorOptions{Linger: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := NewWorker(srv.URL, WorkerOptions{PollInterval: time.Millisecond})
+	if _, err := w.Run(ctx); err == nil {
+		t.Error("cancelled worker returned nil error")
+	}
+}

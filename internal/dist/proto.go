@@ -1,0 +1,223 @@
+// Package dist shards the cache-backed sweep points of the experiment
+// harness across processes: a coordinator enumerates the unique points of a
+// set of experiment ids (experiments.CachePoints), serves them as work units
+// over a small HTTP/JSON protocol, and merges the returned Counters back
+// into an experiments.Cache, after which the experiments themselves run
+// entirely from cache — producing output bit-identical to a single-process
+// run. A static, networkless mode (RunShard / MergeSpools) partitions the
+// same sorted unit list round-robin across shard indices and exchanges
+// results through atomically written spool files instead of sockets.
+//
+// Correctness rests on two properties the rest of the repo already
+// guarantees. First, every point result is a pure function of its canonical
+// key — configs carry explicit seeds, fault streams are counter-based, and
+// evaluation is bit-identical at any batch size or worker count — so it does
+// not matter which process computes a point, or whether retry computes it
+// twice. Second, work assignment is deterministic: units are the sorted
+// CachePoints list, shards own fixed round-robin slices of it, and the
+// coordinator hands out leases in sorted-key order, never arrival order.
+// Workers verify each unit's key by recomputing it from the decoded payload,
+// so codec or version drift between processes is an error, not a silent
+// wrong answer.
+package dist
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"ctjam/internal/env"
+	"ctjam/internal/experiments"
+	"ctjam/internal/fault"
+	"ctjam/internal/jammer"
+	"ctjam/internal/metrics"
+)
+
+// WireConfig is the JSON form of env.Config. Fault injectors travel as their
+// internal/fault flag-grammar spec; the sweep points distributed today never
+// carry any, but the field keeps the format ready for configs that do.
+type WireConfig struct {
+	Channels   int       `json:"channels"`
+	SweepWidth int       `json:"sweep_width"`
+	TxPowers   []float64 `json:"tx_powers"`
+	JamPowers  []float64 `json:"jam_powers"`
+	JammerMode int       `json:"jammer_mode"`
+	LossHop    float64   `json:"loss_hop"`
+	LossJam    float64   `json:"loss_jam"`
+	Seed       int64     `json:"seed"`
+	FaultSpec  string    `json:"fault_spec,omitempty"`
+}
+
+// wireConfig converts an env.Config for the wire. Configs carrying live
+// fault injectors are rejected: injectors have no spec back-formatter, and
+// silently dropping them would change the point's meaning.
+func wireConfig(cfg env.Config) (WireConfig, error) {
+	if cfg.Faults != nil {
+		return WireConfig{}, fmt.Errorf("dist: config with fault injector %q is not distributable", cfg.Faults.Name())
+	}
+	return WireConfig{
+		Channels:   cfg.Channels,
+		SweepWidth: cfg.SweepWidth,
+		TxPowers:   cfg.TxPowers,
+		JamPowers:  cfg.JamPowers,
+		JammerMode: int(cfg.JammerMode),
+		LossHop:    cfg.LossHop,
+		LossJam:    cfg.LossJam,
+		Seed:       cfg.Seed,
+	}, nil
+}
+
+// envConfig rebuilds the env.Config a WireConfig describes.
+func (c WireConfig) envConfig() (env.Config, error) {
+	cfg := env.Config{
+		Channels:   c.Channels,
+		SweepWidth: c.SweepWidth,
+		TxPowers:   c.TxPowers,
+		JamPowers:  c.JamPowers,
+		JammerMode: jammer.PowerMode(c.JammerMode),
+		LossHop:    c.LossHop,
+		LossJam:    c.LossJam,
+		Seed:       c.Seed,
+	}
+	if c.FaultSpec != "" {
+		inj, err := fault.Parse(c.FaultSpec, c.Seed)
+		if err != nil {
+			return env.Config{}, err
+		}
+		cfg.Faults = inj
+	}
+	if err := cfg.Validate(); err != nil {
+		return env.Config{}, fmt.Errorf("dist: wire config invalid: %w", err)
+	}
+	return cfg, nil
+}
+
+// WireOptions pins the experiments.Options fields that feed a point's cache
+// key. Worker-local fields (parallelism, cache, context) deliberately do not
+// travel: they cannot change results.
+type WireOptions struct {
+	Engine     int   `json:"engine"`
+	TrainSlots int   `json:"train_slots"`
+	Seed       int64 `json:"seed"`
+	Slots      int   `json:"slots"`
+}
+
+// wireOptions extracts the wire-relevant fields of o.
+func wireOptions(o experiments.Options) WireOptions {
+	return WireOptions{
+		Engine:     int(o.Engine),
+		TrainSlots: o.TrainSlots,
+		Seed:       o.Seed,
+		Slots:      o.Slots,
+	}
+}
+
+// options rebuilds worker-side experiments.Options around the wire fields.
+func (w WireOptions) options(ctx context.Context, cache *experiments.Cache, workers int) experiments.Options {
+	return experiments.Options{
+		Engine:     experiments.Engine(w.Engine),
+		TrainSlots: w.TrainSlots,
+		Seed:       w.Seed,
+		Slots:      w.Slots,
+		Workers:    workers,
+		Cache:      cache,
+		Context:    ctx,
+	}
+}
+
+// Unit is one distributable sweep point: the (options, config) pair that
+// determines its Counters, plus the coordinator's canonical key for it.
+type Unit struct {
+	Key    string      `json:"key"`
+	Opts   WireOptions `json:"opts"`
+	Config WireConfig  `json:"config"`
+}
+
+// UnitResult reports one evaluated unit: its Counters, or the error that
+// kept a worker from producing them.
+type UnitResult struct {
+	Key      string           `json:"key"`
+	Counters metrics.Counters `json:"counters"`
+	Err      string           `json:"err,omitempty"`
+}
+
+// UnitsFor enumerates the distributable work units of the given experiment
+// ids under o, sorted by key — the shared, deterministic work list every
+// coordinator and shard derives identically from identical inputs.
+func UnitsFor(o experiments.Options, ids []string) ([]Unit, error) {
+	specs, err := experiments.CachePoints(o, ids)
+	if err != nil {
+		return nil, err
+	}
+	wo := wireOptions(o)
+	units := make([]Unit, len(specs))
+	for i, sp := range specs {
+		wc, err := wireConfig(sp.Config)
+		if err != nil {
+			return nil, err
+		}
+		units[i] = Unit{Key: sp.Key, Opts: wo, Config: wc}
+	}
+	return units, nil
+}
+
+// evaluate computes every unit's Counters against the local cache, grouping
+// units that share WireOptions into one EvaluatePoints call so sibling
+// points of a shared scheme evaluate in lockstep through the batched
+// inference engine. Each unit's key is recomputed from the decoded payload
+// first; a mismatch (or any evaluation error) is reported per unit rather
+// than failing the batch silently. The returned slice is index-aligned with
+// units.
+func evaluate(ctx context.Context, units []Unit, cache *experiments.Cache, workers int) []UnitResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]UnitResult, len(units))
+	for i, u := range units {
+		out[i] = UnitResult{Key: u.Key}
+	}
+
+	// Group by wire options, preserving order inside a group.
+	var order []WireOptions
+	groups := make(map[WireOptions][]int)
+	for i, u := range units {
+		if _, ok := groups[u.Opts]; !ok {
+			order = append(order, u.Opts)
+		}
+		groups[u.Opts] = append(groups[u.Opts], i)
+	}
+
+	for _, wo := range order {
+		idxs := groups[wo]
+		o := wo.options(ctx, cache, workers)
+		cfgs := make([]env.Config, 0, len(idxs))
+		ok := idxs[:0:0]
+		for _, i := range idxs {
+			cfg, err := units[i].Config.envConfig()
+			if err != nil {
+				out[i].Err = err.Error()
+				continue
+			}
+			if got := experiments.PointKey(o, cfg); got != units[i].Key {
+				out[i].Err = fmt.Sprintf("dist: key mismatch: coordinator sent %q, worker derives %q", units[i].Key, got)
+				continue
+			}
+			ok = append(ok, i)
+			cfgs = append(cfgs, cfg)
+		}
+		if len(ok) == 0 {
+			continue
+		}
+		counters, err := experiments.EvaluatePoints(o, cfgs)
+		if err != nil {
+			for _, i := range ok {
+				out[i].Err = err.Error()
+			}
+			continue
+		}
+		for j, i := range ok {
+			out[i].Counters = counters[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ctjam/internal/experiments"
+)
+
+// WorkerOptions configure one worker process (or goroutine).
+type WorkerOptions struct {
+	// ID names the worker in protocol requests — diagnostics only, results
+	// are keyed by unit.
+	ID string
+	// Workers is the local evaluation parallelism (default GOMAXPROCS).
+	Workers int
+	// MaxUnits is the most units requested per poll (default 4). The
+	// coordinator's Batch caps it.
+	MaxUnits int
+	// PollInterval paces polls that return no work and no retry hint
+	// (default 500ms).
+	PollInterval time.Duration
+	// Client issues the HTTP requests (default http.DefaultClient).
+	Client *http.Client
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.ID == "" {
+		o.ID = "worker"
+	}
+	if o.MaxUnits <= 0 {
+		o.MaxUnits = 4
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 500 * time.Millisecond
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	return o
+}
+
+// maxConsecutiveFailures bounds back-to-back protocol errors before a worker
+// gives up — a coordinator that has gone away for good should not pin worker
+// processes forever.
+const maxConsecutiveFailures = 10
+
+// Worker pulls units from a coordinator, evaluates them against a persistent
+// local cache (so sibling points reuse trained schemes across polls), and
+// reports results until the coordinator declares the run done.
+type Worker struct {
+	base  string
+	opts  WorkerOptions
+	cache *experiments.Cache
+}
+
+// NewWorker builds a worker for the coordinator at baseURL
+// (e.g. "http://host:9077").
+func NewWorker(baseURL string, opts WorkerOptions) *Worker {
+	return &Worker{
+		base:  baseURL,
+		opts:  opts.withDefaults(),
+		cache: experiments.NewCache(),
+	}
+}
+
+// Run polls, evaluates, and reports until the run completes, ctx ends, or
+// the coordinator is unreachable maxConsecutiveFailures times in a row.
+// A coordinator that vanishes after the worker has completed at least one
+// round-trip is treated as a finished run (the coordinator tears its
+// listener down once all results are in), not an error: the coordinator
+// process is the sole authority on run success. Returns the number of units
+// evaluated.
+func (w *Worker) Run(ctx context.Context) (int, error) {
+	evaluated := 0
+	failures := 0
+	connected := false
+	unreachable := func(err error) (int, error) {
+		if connected {
+			return evaluated, nil
+		}
+		return evaluated, fmt.Errorf("dist: worker %s: coordinator unreachable: %w", w.opts.ID, err)
+	}
+	for {
+		var poll pollResponse
+		err := w.post(ctx, "/v1/poll", pollRequest{Worker: w.opts.ID, Max: w.opts.MaxUnits}, &poll)
+		if err != nil {
+			if ctx.Err() != nil {
+				return evaluated, ctx.Err()
+			}
+			failures++
+			if failures >= maxConsecutiveFailures {
+				return unreachable(err)
+			}
+			if !sleep(ctx, w.opts.PollInterval) {
+				return evaluated, ctx.Err()
+			}
+			continue
+		}
+		failures = 0
+		connected = true
+		if poll.Done {
+			return evaluated, nil
+		}
+		if len(poll.Units) == 0 {
+			d := w.opts.PollInterval
+			if poll.RetryMS > 0 {
+				d = time.Duration(poll.RetryMS) * time.Millisecond
+			}
+			if !sleep(ctx, d) {
+				return evaluated, ctx.Err()
+			}
+			continue
+		}
+
+		results := evaluate(ctx, poll.Units, w.cache, w.opts.Workers)
+		evaluated += len(results)
+		var res resultResponse
+		if err := w.post(ctx, "/v1/result", resultRequest{Worker: w.opts.ID, Results: results}, &res); err != nil {
+			if ctx.Err() != nil {
+				return evaluated, ctx.Err()
+			}
+			// Losing a result report is recoverable: the lease expires and
+			// another worker (or this one) recomputes the same pure result.
+			failures++
+			if failures >= maxConsecutiveFailures {
+				return unreachable(err)
+			}
+			continue
+		}
+		if res.Done {
+			return evaluated, nil
+		}
+	}
+}
+
+// post issues one JSON round-trip to the coordinator.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("dist: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sleep waits for d or ctx, reporting whether the wait ran to completion.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

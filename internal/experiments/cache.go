@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -113,8 +114,9 @@ func (c *Cache) claimPoint(key string) (*pointEntry, bool) {
 }
 
 // scheme returns the memoized scheme for key, building it on first request.
-// Concurrent requests for an in-flight key block until the build finishes.
-func (c *Cache) scheme(key string, build func() (*policy.Scheme, error)) (*policy.Scheme, error) {
+// Concurrent requests for an in-flight key block until the build finishes or
+// their context ends — a dead builder elsewhere must not wedge waiters.
+func (c *Cache) scheme(ctx context.Context, key string, build func() (*policy.Scheme, error)) (*policy.Scheme, error) {
 	c.mu.Lock()
 	e, ok := c.schemes[key]
 	if !ok {
@@ -125,10 +127,51 @@ func (c *Cache) scheme(key string, build func() (*policy.Scheme, error)) (*polic
 	if !ok {
 		e.s, e.err = build()
 		close(e.done)
-	} else {
-		<-e.done
+		return e.s, e.err
 	}
-	return e.s, e.err
+	select {
+	case <-e.done:
+		return e.s, e.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("experiments: waiting for in-flight scheme: %w", ctx.Err())
+	}
+}
+
+// waitPoint blocks until a point entry is filled or ctx ends. A filled entry
+// always wins the race: the unconditional first select makes an expired
+// context irrelevant for results that are already available.
+func waitPoint(ctx context.Context, e *pointEntry) (metrics.Counters, error) {
+	select {
+	case <-e.done:
+		return e.c, e.err
+	default:
+	}
+	select {
+	case <-e.done:
+		return e.c, e.err
+	case <-ctx.Done():
+		return metrics.Counters{}, fmt.Errorf("experiments: waiting for in-flight sweep point: %w", ctx.Err())
+	}
+}
+
+// ImportPoint installs an externally computed point result — a distributed
+// worker's Counters — under its canonical key (see PointKey). Point results
+// are pure functions of their keys, so importing a key that is already
+// resolved is a no-op (the stored value is identical by construction), and a
+// key that is locally in flight is left for its claimant to fill.
+func (c *Cache) ImportPoint(key string, counters metrics.Counters) {
+	c.mu.Lock()
+	e, ok := c.points[key]
+	if !ok {
+		e = &pointEntry{done: make(chan struct{})}
+		c.points[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		return
+	}
+	e.c = counters
+	close(e.done)
 }
 
 // pointKey is the canonical fingerprint of one sweep point: everything that
@@ -208,6 +251,10 @@ func runPoints(o Options, cfgs []env.Config, label func(i int) string) ([]metric
 		// means a direct internal call, which still wants intra-call dedup.
 		cache = NewCache()
 	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	// Group configs by the scheme they evaluate, preserving first-appearance
 	// order so work distribution is deterministic.
@@ -249,7 +296,7 @@ func runPoints(o Options, cfgs []env.Config, label func(i int) string) ([]metric
 				close(e.done)
 			}
 		}
-		scheme, err := cache.scheme(order[g], func() (*policy.Scheme, error) {
+		scheme, err := cache.scheme(ctx, order[g], func() (*policy.Scheme, error) {
 			return rlScheme(o, cfgs[claimed[0]])
 		})
 		if err != nil {
@@ -274,15 +321,22 @@ func runPoints(o Options, cfgs []env.Config, label func(i int) string) ([]metric
 	out := make([]metrics.Counters, len(cfgs))
 	var firstErr error
 	for i, e := range entries {
-		// Entries claimed by a concurrent run may still be in flight.
-		<-e.done
-		if e.err != nil {
+		// Entries claimed by a concurrent run may still be in flight; the
+		// wait is context-bounded so a claimant that died elsewhere (e.g. a
+		// lost distributed worker) cannot wedge this caller forever.
+		c, werr := waitPoint(ctx, e)
+		if werr != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("%s: %w", label(i), e.err)
+				firstErr = fmt.Errorf("%s: %w", label(i), werr)
+			}
+			if ctx.Err() != nil {
+				// The context is gone: every remaining in-flight wait would
+				// fail the same way, so stop collecting.
+				return nil, firstErr
 			}
 			continue
 		}
-		out[i] = e.c
+		out[i] = c
 	}
 	if firstErr != nil {
 		return nil, firstErr

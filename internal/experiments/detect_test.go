@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"testing"
+
+	"ctjam/internal/ids"
+)
+
+// seriesY finds a named series in a result and returns its Y values.
+func seriesY(t *testing.T, res *Result, name string) []float64 {
+	t.Helper()
+	for _, s := range res.Series {
+		if s.Name == name {
+			return s.Y
+		}
+	}
+	t.Fatalf("result %q has no series %q", res.Title, name)
+	return nil
+}
+
+// Signal indices of the stealth/detect experiments' XTicks.
+const (
+	sigEmuBee = 0
+	sigZigBee = 1
+	sigWiFi   = 2
+)
+
+// TestDetectVerdictsPerSignal pins the §II-B conclusion the detect
+// experiment exists to demonstrate: a conventional ZigBee jammer is
+// positively identified from its packet log, while EmuBee leaves no
+// packet-log evidence and is never classified as conventional jamming.
+func TestDetectVerdictsPerSignal(t *testing.T) {
+	res, err := runDetect(pointOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.XTicks) != 3 || len(res.Series) != 3 {
+		t.Fatalf("unexpected result shape: %d ticks, %d series", len(res.XTicks), len(res.Series))
+	}
+	verdicts := seriesY(t, res, "verdict (1=clean 2=intf 3=conv 4=ctj)")
+	evidence := seriesY(t, res, "packet-log evidence")
+	phantoms := seriesY(t, res, "phantom syncs")
+
+	if got := ids.Verdict(verdicts[sigZigBee]); got != ids.VerdictConventionalJamming {
+		t.Errorf("ZigBee jammer classified %v, want conventional jamming", got)
+	}
+	if evidence[sigZigBee] == 0 {
+		t.Error("ZigBee jammer left no packet-log evidence")
+	}
+	if got := ids.Verdict(verdicts[sigEmuBee]); got == ids.VerdictConventionalJamming {
+		t.Error("EmuBee classified as conventional jamming despite leaving no packet log")
+	}
+	if evidence[sigEmuBee] != 0 {
+		t.Errorf("EmuBee left %v packet-log events, want none", evidence[sigEmuBee])
+	}
+	if phantoms[sigEmuBee] == 0 {
+		t.Error("EmuBee produced no phantom syncs; its busy-without-decoding signature is gone")
+	}
+}
+
+// TestStealthSignatures pins the receiver-side signatures the stealth
+// experiment reports: EmuBee busies the victim's demodulator while logging
+// nothing, whereas conventional ZigBee jamming leaves decodable events.
+func TestStealthSignatures(t *testing.T) {
+	res, err := runStealth(pointOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.XTicks) != 3 || len(res.Series) != 3 {
+		t.Fatalf("unexpected result shape: %d ticks, %d series", len(res.XTicks), len(res.Series))
+	}
+	busy := seriesY(t, res, "busy fraction")
+	events := seriesY(t, res, "detectable events")
+	phantoms := seriesY(t, res, "phantom syncs")
+
+	if events[sigEmuBee] != 0 {
+		t.Errorf("EmuBee produced %v detectable events, want 0", events[sigEmuBee])
+	}
+	if busy[sigEmuBee] <= 0 {
+		t.Error("EmuBee did not occupy the receiver at all")
+	}
+	if phantoms[sigEmuBee] == 0 {
+		t.Error("EmuBee produced no phantom syncs")
+	}
+	if events[sigZigBee] == 0 {
+		t.Error("conventional ZigBee jamming left no detectable events")
+	}
+	if busy[sigZigBee] <= busy[sigWiFi] {
+		t.Errorf("ZigBee frames busy the receiver %.3f <= plain Wi-Fi noise %.3f",
+			busy[sigZigBee], busy[sigWiFi])
+	}
+}

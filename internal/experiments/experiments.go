@@ -6,12 +6,15 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"strings"
+
+	"ctjam/internal/env"
 )
 
 // ErrUnknownExperiment is returned (wrapped) by Run and Describe for ids
@@ -74,6 +77,13 @@ type Options struct {
 	// field, so one cache may serve runs with different options. nil gets
 	// a private per-run cache (no cross-run reuse).
 	Cache *Cache
+	// Context bounds waits on cache entries another goroutine (or, in
+	// distributed runs, another process) claimed but has not filled yet.
+	// When it ends, waiters return its error instead of blocking forever —
+	// the safety net against a dead claimant wedging a run. nil means
+	// context.Background() (wait indefinitely). It is not part of any
+	// memoization key.
+	Context context.Context
 }
 
 // DefaultOptions mirrors the paper's experiment scale.
@@ -111,6 +121,9 @@ func (o Options) withFloor() Options {
 	}
 	if o.Cache == nil {
 		o.Cache = NewCache()
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
 	}
 	return o
 }
@@ -157,11 +170,18 @@ type Result struct {
 // Runner produces a Result.
 type Runner func(Options) (*Result, error)
 
-// entry pairs a runner with its description.
+// entry pairs a runner with its description. Cache-backed experiments — the
+// Figs. 6-8 sweep panels and Table I, whose work all flows through the
+// sweep-point Cache — additionally enumerate their point configs, which is
+// what internal/dist shards across worker processes.
 type entry struct {
 	id     string
 	desc   string
 	runner Runner
+	// points enumerates the env configs of every sweep point the runner
+	// evaluates through the point cache; nil for experiments whose compute
+	// is not cache-backed (PHY Monte-Carlo, field simulator, training).
+	points func(Options) []env.Config
 }
 
 // registry holds all experiments in presentation order.
@@ -172,37 +192,48 @@ func buildRegistry() []entry {
 	add := func(id, desc string, r Runner) {
 		es = append(es, entry{id: id, desc: desc, runner: r})
 	}
+	addSweep := func(id, desc string, sw sweep, m metric) {
+		es = append(es, entry{
+			id: id, desc: desc,
+			runner: sweepRunner(sw, m),
+			points: func(o Options) []env.Config { return sweepConfigs(sw, o) },
+		})
+	}
 	add("fig2b", "PER & throughput vs jamming distance (analytic SINR model)", runFig2b)
 	add("fig2b-wave", "PER vs jamming distance (waveform-level Monte-Carlo)", runFig2bWave)
 	add("stealth", "stealthiness of jamming signals at the victim receiver (§II-B)", runStealth)
 	add("detect", "IDS verdicts per jamming signal (defender's view of §II-B)", runDetect)
-	add("fig6a", "success rate of transmission vs L_J", sweepRunner(sweepLJ, metricST))
-	add("fig6b", "success rate of transmission vs sweep cycle", sweepRunner(sweepCycle, metricST))
-	add("fig6c", "success rate of transmission vs L_H", sweepRunner(sweepLH, metricST))
-	add("fig6d", "success rate of transmission vs lower bound of L^T", sweepRunner(sweepLp, metricST))
-	add("fig7a", "adoption rate of FH vs L_J", sweepRunner(sweepLJ, metricAH))
-	add("fig7b", "adoption rate of PC vs L_J", sweepRunner(sweepLJ, metricAP))
-	add("fig7c", "adoption rate of FH vs sweep cycle", sweepRunner(sweepCycle, metricAH))
-	add("fig7d", "adoption rate of PC vs sweep cycle", sweepRunner(sweepCycle, metricAP))
-	add("fig7e", "adoption rate of FH vs L_H", sweepRunner(sweepLH, metricAH))
-	add("fig7f", "adoption rate of PC vs L_H", sweepRunner(sweepLH, metricAP))
-	add("fig7g", "adoption rate of FH vs lower bound of L^T", sweepRunner(sweepLp, metricAH))
-	add("fig7h", "adoption rate of PC vs lower bound of L^T", sweepRunner(sweepLp, metricAP))
-	add("fig8a", "success rate of FH vs L_J", sweepRunner(sweepLJ, metricSH))
-	add("fig8b", "success rate of PC vs L_J", sweepRunner(sweepLJ, metricSP))
-	add("fig8c", "success rate of FH vs sweep cycle", sweepRunner(sweepCycle, metricSH))
-	add("fig8d", "success rate of PC vs sweep cycle", sweepRunner(sweepCycle, metricSP))
-	add("fig8e", "success rate of FH vs L_H", sweepRunner(sweepLH, metricSH))
-	add("fig8f", "success rate of PC vs L_H", sweepRunner(sweepLH, metricSP))
-	add("fig8g", "success rate of FH vs lower bound of L^T", sweepRunner(sweepLp, metricSH))
-	add("fig8h", "success rate of PC vs lower bound of L^T", sweepRunner(sweepLp, metricSP))
+	addSweep("fig6a", "success rate of transmission vs L_J", sweepLJ, metricST)
+	addSweep("fig6b", "success rate of transmission vs sweep cycle", sweepCycle, metricST)
+	addSweep("fig6c", "success rate of transmission vs L_H", sweepLH, metricST)
+	addSweep("fig6d", "success rate of transmission vs lower bound of L^T", sweepLp, metricST)
+	addSweep("fig7a", "adoption rate of FH vs L_J", sweepLJ, metricAH)
+	addSweep("fig7b", "adoption rate of PC vs L_J", sweepLJ, metricAP)
+	addSweep("fig7c", "adoption rate of FH vs sweep cycle", sweepCycle, metricAH)
+	addSweep("fig7d", "adoption rate of PC vs sweep cycle", sweepCycle, metricAP)
+	addSweep("fig7e", "adoption rate of FH vs L_H", sweepLH, metricAH)
+	addSweep("fig7f", "adoption rate of PC vs L_H", sweepLH, metricAP)
+	addSweep("fig7g", "adoption rate of FH vs lower bound of L^T", sweepLp, metricAH)
+	addSweep("fig7h", "adoption rate of PC vs lower bound of L^T", sweepLp, metricAP)
+	addSweep("fig8a", "success rate of FH vs L_J", sweepLJ, metricSH)
+	addSweep("fig8b", "success rate of PC vs L_J", sweepLJ, metricSP)
+	addSweep("fig8c", "success rate of FH vs sweep cycle", sweepCycle, metricSH)
+	addSweep("fig8d", "success rate of PC vs sweep cycle", sweepCycle, metricSP)
+	addSweep("fig8e", "success rate of FH vs L_H", sweepLH, metricSH)
+	addSweep("fig8f", "success rate of PC vs L_H", sweepLH, metricSP)
+	addSweep("fig8g", "success rate of FH vs lower bound of L^T", sweepLp, metricSH)
+	addSweep("fig8h", "success rate of PC vs lower bound of L^T", sweepLp, metricSP)
 	add("fig9a", "time consumption of typical functions", runFig9a)
 	add("fig9b", "FH negotiation time vs network size", runFig9b)
 	add("fig10a", "goodput vs Tx timeslot duration", runFig10a)
 	add("fig10b", "timeslot utilization vs Tx timeslot duration", runFig10b)
 	add("fig11a", "goodput by anti-jamming scheme", runFig11a)
 	add("fig11b", "goodput vs jammer timeslot duration", runFig11b)
-	add("table1", "Table I metrics at the paper's default parameters", runTable1)
+	es = append(es, entry{
+		id: "table1", desc: "Table I metrics at the paper's default parameters",
+		runner: runTable1,
+		points: table1Configs,
+	})
 	add("train", "DQN training statistics (§IV-B)", runTrain)
 	return es
 }
@@ -216,31 +247,39 @@ func IDs() []string {
 	return out
 }
 
-// Describe returns the one-line description of an experiment id.
-func Describe(id string) (string, error) {
-	for _, e := range registry {
-		if e.id == id {
-			return e.desc, nil
+// lookup finds the registry entry for an id.
+func lookup(id string) (*entry, error) {
+	for i := range registry {
+		if registry[i].id == id {
+			return &registry[i], nil
 		}
 	}
-	return "", fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+	return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+}
+
+// Describe returns the one-line description of an experiment id.
+func Describe(id string) (string, error) {
+	e, err := lookup(id)
+	if err != nil {
+		return "", err
+	}
+	return e.desc, nil
 }
 
 // Run executes one experiment by id.
 func Run(id string, o Options) (*Result, error) {
 	o = o.withFloor()
-	for _, e := range registry {
-		if e.id == id {
-			res, err := e.runner(o)
-			if err != nil {
-				return nil, fmt.Errorf("experiment %s: %w", id, err)
-			}
-			res.ID = id
-			return res, nil
-		}
+	e, err := lookup(id)
+	if err != nil {
+		known := strings.Join(IDs(), ", ")
+		return nil, fmt.Errorf("%w: %q (known: %s)", ErrUnknownExperiment, id, known)
 	}
-	known := strings.Join(IDs(), ", ")
-	return nil, fmt.Errorf("%w: %q (known: %s)", ErrUnknownExperiment, id, known)
+	res, err := e.runner(o)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", id, err)
+	}
+	res.ID = id
+	return res, nil
 }
 
 // Format renders a result as an aligned text table.

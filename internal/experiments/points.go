@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"ctjam/internal/env"
+	"ctjam/internal/metrics"
+)
+
+// PointSpec identifies one unique cache-backed sweep point: the environment
+// it evaluates plus the canonical cache key binding it to one Options budget.
+// Specs are the unit of work distributed execution ships between processes
+// (see internal/dist).
+type PointSpec struct {
+	// Key is the canonical point fingerprint — the Cache memoization key.
+	// It covers the config and every Options field that feeds the point,
+	// so equal keys mean bit-identical results.
+	Key string
+	// Config is the environment configuration the point evaluates.
+	Config env.Config
+}
+
+// PointKey returns the canonical cache key of one sweep point under o,
+// applying the same option defaulting Run does. Workers recompute it from
+// the wire-decoded (Options, Config) pair and compare against the
+// coordinator's key, so any codec or version drift is caught before a wrong
+// result can be imported.
+func PointKey(o Options, cfg env.Config) string {
+	return pointKey(o.withFloor(), cfg)
+}
+
+// CachePoints enumerates the unique cache-backed sweep points the given
+// experiment ids evaluate under o, sorted by Key. With the full id set this
+// is the "-id all" work list: 78 unique points backing the 20 Figs. 6-8
+// metric panels plus Table I (which coincides with the L_J=100 /
+// lower-bound-6 sweep points and deduplicates against them). Ids whose
+// compute is not cache-backed (fig2b, fig9-10, field, stealth, train)
+// contribute nothing; unknown ids return ErrUnknownExperiment.
+//
+// The sorted order is the deterministic work-assignment order of distributed
+// execution: shards and coordinators derive identical lists from identical
+// (Options, ids) inputs, independent of registration or arrival order.
+func CachePoints(o Options, ids []string) ([]PointSpec, error) {
+	o = o.withFloor()
+	seen := make(map[string]bool)
+	var out []PointSpec
+	for _, id := range ids {
+		e, err := lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		if e.points == nil {
+			continue
+		}
+		for _, cfg := range e.points(o) {
+			k := pointKey(o, cfg)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, PointSpec{Key: k, Config: cfg})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// EvaluatePoints computes the Counters of the given point configs under o,
+// through the shared point cache (o.Cache, or a private one when nil). This
+// is the worker-side entry point of distributed execution: results are
+// bit-identical to the same points' evaluation inside a single-process Run,
+// because both paths are runPoints over canonical keys.
+func EvaluatePoints(o Options, cfgs []env.Config) ([]metrics.Counters, error) {
+	o = o.withFloor()
+	return runPoints(o, cfgs, func(i int) string {
+		return fmt.Sprintf("point %s", cfgs[i].Fingerprint())
+	})
+}

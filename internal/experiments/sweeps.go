@@ -168,6 +168,32 @@ var sweepModes = []struct {
 	{jammer.ModeRandom, "jam w/ rand pwr"},
 }
 
+// sweepConfigs builds the (mode × x) point configs of one Figs. 6-8 sweep:
+// the unit of work the point cache memoizes and internal/dist shards. The
+// order is modes-major, matching the series layout of sweepRunner.
+func sweepConfigs(sw sweep, o Options) []env.Config {
+	nx := len(sw.xs)
+	cfgs := make([]env.Config, len(sweepModes)*nx)
+	for p := range cfgs {
+		md, x := sweepModes[p/nx], sw.xs[p%nx]
+		cfgs[p] = sw.configure(x, md.mode, o.Seed)
+	}
+	return cfgs
+}
+
+// table1Configs builds the two default-parameter point configs (one per
+// jammer mode) Table I evaluates.
+func table1Configs(o Options) []env.Config {
+	cfgs := make([]env.Config, len(sweepModes))
+	for p := range cfgs {
+		cfg := env.DefaultConfig()
+		cfg.JammerMode = sweepModes[p].mode
+		cfg.Seed = o.Seed
+		cfgs[p] = cfg
+	}
+	return cfgs
+}
+
 // sweepRunner builds the Runner for one (sweep, metric) panel of Figs. 6-8.
 // Every (mode, x) point builds its own env.Config with an explicit seed; the
 // points are evaluated through runPoints, which deduplicates them against
@@ -184,11 +210,7 @@ func sweepRunner(sw sweep, m metric) Runner {
 			PaperNote: sw.paperNote[m.name],
 		}
 		nx := len(sw.xs)
-		cfgs := make([]env.Config, len(sweepModes)*nx)
-		for p := range cfgs {
-			md, x := sweepModes[p/nx], sw.xs[p%nx]
-			cfgs[p] = sw.configure(x, md.mode, o.Seed)
-		}
+		cfgs := sweepConfigs(sw, o)
 		counters, err := runPoints(o, cfgs, func(p int) string {
 			return fmt.Sprintf("%s=%v mode=%v", sw.name, sw.xs[p%nx], sweepModes[p/nx].mode)
 		})
@@ -221,14 +243,7 @@ func runTable1(o Options) (*Result, error) {
 		XTicks:    []string{"ST", "AH", "SH", "AP", "SP"},
 		PaperNote: "Table I defines ST/AH/SH/AP/SP; §IV-C reports ST~78% at the defaults",
 	}
-	cfgs := make([]env.Config, len(sweepModes))
-	for p := range cfgs {
-		cfg := env.DefaultConfig()
-		cfg.JammerMode = sweepModes[p].mode
-		cfg.Seed = o.Seed
-		cfgs[p] = cfg
-	}
-	counters, err := runPoints(o, cfgs, func(p int) string {
+	counters, err := runPoints(o, table1Configs(o), func(p int) string {
 		return fmt.Sprintf("table1 mode=%v", sweepModes[p].mode)
 	})
 	if err != nil {

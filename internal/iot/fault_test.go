@@ -38,6 +38,7 @@ func runSlots(t *testing.T, cfg Config, slots int) RunStats {
 		agg.Slots++
 		agg.Attempted += st.Attempted
 		agg.Delivered += st.Delivered
+		agg.FrameLosses += st.FrameLosses
 		overhead += st.Overhead
 	}
 	agg.MeanOverhead = overhead / time.Duration(slots)
@@ -114,6 +115,58 @@ func TestWeakBurstNoiseIsSurvivable(t *testing.T) {
 		if st.Outcome != env.OutcomeJammedSurvived {
 			t.Fatalf("slot %d: outcome %v, want jammed-survived", i, st.Outcome)
 		}
+	}
+}
+
+// Symbol corruption feeds packets through the real ZigBee receive path
+// (symbols -> bytes -> SFD scan -> CRC): the frame-loss rate must be zero
+// without faults and grow monotonically with the per-symbol flip
+// probability, saturating near total loss at 10% flips (a full-size frame
+// carries ~264 symbols, so almost every frame takes at least one hit).
+func TestFrameLossVsFlipProbability(t *testing.T) {
+	probs := []float64{0, 1e-3, 1e-2, 1e-1}
+	rates := make([]float64, len(probs))
+	for i, p := range probs {
+		cfg := quietConfig()
+		if p > 0 {
+			cfg.Faults = fault.SymbolFaults{Seed: 1, FlipProb: p}
+		}
+		agg := runSlots(t, cfg, 10)
+		if agg.Attempted == 0 {
+			t.Fatalf("p=%v: no packets attempted", p)
+		}
+		if agg.Delivered+agg.FrameLosses != agg.Attempted {
+			t.Fatalf("p=%v: delivered %d + frame losses %d != attempted %d",
+				p, agg.Delivered, agg.FrameLosses, agg.Attempted)
+		}
+		rates[i] = float64(agg.FrameLosses) / float64(agg.Attempted)
+	}
+	if rates[0] != 0 {
+		t.Errorf("flip probability 0 lost %.3f of frames, want none", rates[0])
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] <= rates[i-1] {
+			t.Errorf("frame-loss curve not monotone: rate(%v)=%.4f <= rate(%v)=%.4f",
+				probs[i], rates[i], probs[i-1], rates[i-1])
+		}
+	}
+	if rates[len(rates)-1] < 0.9 {
+		t.Errorf("flip probability 0.1 lost only %.3f of frames, want near-total loss", rates[len(rates)-1])
+	}
+}
+
+// Truncation faults alone (no flips) also break frames: dropping enough
+// trailing symbols loses the FCS or the whole PSDU.
+func TestSymbolTruncationCausesLosses(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Faults = fault.SymbolFaults{Seed: 1, TruncProb: 1, MaxDrop: 64}
+	agg := runSlots(t, cfg, 5)
+	if agg.FrameLosses == 0 {
+		t.Fatal("forced truncation produced no frame losses")
+	}
+	if agg.Delivered+agg.FrameLosses != agg.Attempted {
+		t.Fatalf("delivered %d + frame losses %d != attempted %d",
+			agg.Delivered, agg.FrameLosses, agg.Attempted)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"ctjam/internal/jammer"
 	"ctjam/internal/mac"
 	"ctjam/internal/metrics"
+	"ctjam/internal/phy/zigbee"
 )
 
 // Config parameterizes the field simulator. DefaultConfig mirrors the
@@ -104,6 +105,10 @@ type SlotStats struct {
 	// Attempted and Delivered count data packets.
 	Attempted int
 	Delivered int
+	// FrameLosses counts packets that survived the channel but died in the
+	// ZigBee receive path under injected symbol faults (truncation or
+	// corruption broke the frame's SFD scan, length, or FCS).
+	FrameLosses int
 	// Outcome classifies the slot like the slot-level environment.
 	Outcome env.Outcome
 	// Hopped reports a channel change at the slot boundary.
@@ -119,6 +124,8 @@ type RunStats struct {
 	// Attempted / Delivered packets over the whole run.
 	Attempted int
 	Delivered int
+	// FrameLosses are packets lost to injected receiver-side symbol faults.
+	FrameLosses int
 	// GoodputPktsPerSlot is the paper's goodput metric (Fig. 10a, 11).
 	GoodputPktsPerSlot float64
 	// MeanUtilization is the paper's slot-utilization metric (Fig. 10b).
@@ -149,6 +156,12 @@ type Simulator struct {
 	spans       []jamSpan
 	arbiter     *mac.Arbiter
 	slotIdx     int
+
+	// frameSymbols is the demodulated symbol stream of one full-size data
+	// frame, precomputed at reset when fault injection is configured; pktIdx
+	// is the monotone packet counter seeding per-packet symbol corruption.
+	frameSymbols []uint8
+	pktIdx       int64
 }
 
 // New builds a Simulator.
@@ -169,6 +182,21 @@ func (s *Simulator) reset() error {
 	s.nextJamSlot = 0
 	s.spans = nil
 	s.slotIdx = 0
+	s.pktIdx = 0
+	s.frameSymbols = nil
+	if s.cfg.Faults != nil {
+		// Data packets are full-size frames (PacketAirtime is the 125-byte
+		// airtime); a deterministic payload keeps the receive path pure.
+		payload := make([]byte, zigbee.MaxPayload-zigbee.FCSLen)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		frame, err := zigbee.EncodeFrame(payload)
+		if err != nil {
+			return fmt.Errorf("iot: build data frame: %w", err)
+		}
+		s.frameSymbols = zigbee.BytesToSymbols(frame)
+	}
 	if s.cfg.JammerEnabled {
 		sw, err := jammer.NewSweeper(s.cfg.Channels, s.cfg.SweepWidth, s.cfg.JamPowers, s.cfg.JammerMode, s.rng)
 		if err != nil {
@@ -328,6 +356,14 @@ func (s *Simulator) RunSlot(channel, power int, hopped bool) (SlotStats, error) 
 				}
 			}
 		}
+		if !lost && (flt.DropSymbols > 0 || flt.FlipProb > 0) {
+			// The packet survived the channel; push it through the ZigBee
+			// receive path under the slot's symbol faults.
+			if !s.deliverFrame(flt) {
+				lost = true
+				stats.FrameLosses++
+			}
+		}
 		if !lost {
 			stats.Delivered++
 		}
@@ -384,6 +420,20 @@ func (s *Simulator) RunSlot(channel, power int, hopped bool) (SlotStats, error) 
 	return stats, nil
 }
 
+// deliverFrame demodulates one corrupted copy of the precomputed data frame
+// and reports whether the receiver recovered it. Corruption is a pure
+// function of (config seed, packet index), so runs stay bit-reproducible.
+func (s *Simulator) deliverFrame(flt fault.Slot) bool {
+	syms := fault.CorruptSymbols(flt, s.cfg.Seed, s.pktIdx, s.frameSymbols)
+	s.pktIdx++
+	raw, err := zigbee.SymbolsToBytes(syms)
+	if err != nil {
+		return false
+	}
+	_, err = zigbee.DecodeFrame(raw)
+	return err == nil
+}
+
 // Run drives an anti-jamming agent through the simulator for the given
 // number of Tx slots.
 func (s *Simulator) Run(agent env.Agent, slots int) (RunStats, error) {
@@ -416,6 +466,7 @@ func (s *Simulator) Run(agent env.Agent, slots int) (RunStats, error) {
 		run.Slots++
 		run.Attempted += st.Attempted
 		run.Delivered += st.Delivered
+		run.FrameLosses += st.FrameLosses
 		sumUtil += st.Utilization
 		sumOverhd += st.Overhead
 

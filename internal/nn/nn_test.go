@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math"
 	"math/rand"
@@ -495,6 +496,19 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Load(bytes.NewReader(make([]byte, 64))); !errors.Is(err, ErrBadModelFile) {
 		t.Fatalf("zeros: err = %v, want ErrBadModelFile", err)
+	}
+
+	// A dense layer whose dimensions are individually plausible but whose
+	// product is terabyte-scale must be rejected before allocation (found
+	// by FuzzCheckpointLoad: 0x40000 x 0x80000 = 2^37 float64s).
+	var huge bytes.Buffer
+	for _, v := range []uint32{modelMagic, modelVersion, 1, layerKindDense, 1 << 18, 1 << 19} {
+		if err := binary.Write(&huge, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Load(&huge); !errors.Is(err, ErrBadModelFile) {
+		t.Fatalf("huge shape: err = %v, want ErrBadModelFile", err)
 	}
 }
 

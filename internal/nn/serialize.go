@@ -107,7 +107,10 @@ func Load(r io.Reader) (*Network, error) {
 			if err := read(&cols); err != nil {
 				return nil, fmt.Errorf("%w: %v", ErrBadModelFile, err)
 			}
-			if rows == 0 || cols == 0 || rows > 1<<20 || cols > 1<<20 {
+			// Bound the product, not just each dimension: two in-range
+			// dimensions can still multiply to a terabyte-scale allocation,
+			// and NewDense allocates before a truncated stream would fail.
+			if rows == 0 || cols == 0 || uint64(rows)*uint64(cols) > 1<<24 {
 				return nil, fmt.Errorf("%w: implausible dense shape %dx%d", ErrBadModelFile, rows, cols)
 			}
 			d := NewDense(int(rows), int(cols), rand.New(rand.NewSource(0)))

@@ -26,6 +26,12 @@ go test -race -count=1 ./cmd/ctjam-serve
 # and bit-identical to uncached serial runs.
 go test -race -count=1 -run 'TestSweepCache|TestBatchedSerialEvalCounters' ./internal/experiments
 
+# Distributed execution must stay bit-identical to a single-process run —
+# static shards at several counts, the coordinator/worker HTTP protocol,
+# and worker-loss retry all reproduce the same experiment traces — and the
+# coordinator's lease ledger must stay race-clean under concurrent workers.
+go test -race -count=1 -run 'TestDistributed' ./internal/dist
+
 # Benchmark smoke: one iteration of the headline cache benchmark and the
 # batched policy engine, so the committed BENCH numbers stay regenerable
 # (full runs via scripts/bench.sh).
@@ -43,8 +49,9 @@ go test -run '^$' -fuzz FuzzWifiPPDUDecode -fuzztime "$FUZZTIME" ./internal/phy/
 go test -run '^$' -fuzz FuzzCheckpointLoad -fuzztime "$FUZZTIME" ./internal/rl
 
 # Coverage floor: the signal-processing and learner packages back every
-# experiment, so they must stay well tested.
-go test -cover ./internal/phy/... ./internal/rl | awk '
+# experiment, and the experiment harness and policy engine back every
+# reported number, so they must all stay well tested.
+go test -cover ./internal/phy/... ./internal/rl ./internal/experiments ./internal/policy | awk '
 	{ print }
 	/^(FAIL|---)/ { bad = 1 }
 	/coverage:/ {
