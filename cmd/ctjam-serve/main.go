@@ -1,20 +1,39 @@
-// Command ctjam-serve serves a trained anti-jamming policy over HTTP/JSON:
-// an inference daemon for deployments where many ZigBee links share one
-// trained Q network. It loads a checkpoint in any of the repo's formats — a
-// bare network (ctjam-train -out), a DQN learner state, or a full training
-// checkpoint (ctjam-train -checkpoint) — snapshots just the online weights,
-// and answers single and batched /v1/decide queries. SIGHUP (or POST
-// /v1/reload) hot-swaps the snapshot from the same path without dropping
-// in-flight requests, so a training run can keep publishing checkpoints
-// under the server.
+// Command ctjam-serve serves trained anti-jamming policies over HTTP/JSON:
+// an inference daemon for deployments where fleets of ZigBee links share
+// trained Q networks. It is a thin shell around internal/serve, which
+// provides cross-request micro-batching (concurrent single-state decisions
+// coalesce into one batched forward pass on the AVX kernels), a multi-model
+// registry (many named checkpoints in one process, each hot-reloadable), and
+// streaming NDJSON sessions (one connection per link for its whole hopping
+// session).
+//
+// Models are named with repeated -models name=path flags (or one
+// comma-separated list); -model PATH is the legacy single-model spelling and
+// maps to the name "default". The first named model backs the legacy
+// un-named routes. Checkpoints may be in any of the repo's formats: a bare
+// network (ctjam-train -out), a DQN learner state, or a full training
+// checkpoint (ctjam-train -checkpoint).
 //
 // Endpoints:
 //
-//	POST /v1/decide  {"state":[...]} or {"states":[[...],...]}, optional
-//	                 "qvalues":true — returns {"action":n} / {"actions":[...]}
-//	GET  /v1/healthz liveness plus the loaded model's dimensions
-//	GET  /v1/stats   request/state/error counters and mean latency
-//	POST /v1/reload  re-read the model file (same as SIGHUP)
+//	POST /v1/decide                 {"state":[...]} or {"states":[[...],...]},
+//	                                optional "qvalues":true — returns
+//	                                {"action":n} / {"actions":[...]}
+//	POST /v1/models/{name}/decide   same, against a named model
+//	POST /v1/session                streaming NDJSON decision session
+//	POST /v1/models/{name}/session  same, against a named model
+//	GET  /v1/models                 the registry listing
+//	GET  /v1/healthz                liveness plus the default model's shape
+//	GET  /v1/stats                  per-model latency histograms (p50/p95/p99)
+//	                                and batcher fill/flush distribution
+//	POST /v1/reload                 re-read every model file (same as SIGHUP)
+//	POST /v1/models/{name}/reload   re-read one model file
+//
+// Micro-batching is on by default (-batch=false restores one forward pass
+// per request); -batch-window bounds the queueing latency a lone request
+// pays and -max-batch the states per fused forward. SIGTERM/SIGINT drain
+// gracefully: admissions stop with 503, pending micro-batches flush, open
+// sessions unblock, and in-flight requests finish within -shutdown-timeout.
 //
 // With -pprof (the default), the standard net/http/pprof profiling surface
 // is mounted under /debug/pprof/ on the same listener, so a live daemon can
@@ -27,260 +46,124 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
-	"sync/atomic"
+	"strings"
 	"syscall"
 	"time"
 
-	"ctjam/internal/core"
-	"ctjam/internal/rl"
+	"ctjam/internal/serve"
 )
 
-// maxBody bounds /v1/decide request bodies (a 4096-state batch at paper
-// dimensions is ~2 MB of JSON).
-const maxBody = 8 << 20
-
-type server struct {
-	modelPath string
-	pprof     bool
-	snap      atomic.Pointer[rl.Snapshot]
-
-	reloads      atomic.Int64
-	requests     atomic.Int64
-	statesServed atomic.Int64
-	errCount     atomic.Int64
-	latencyNS    atomic.Int64
-}
-
-// newServer loads the checkpoint at modelPath and builds the service.
-func newServer(modelPath string) (*server, error) {
-	s := &server{modelPath: modelPath}
-	if err := s.reload(); err != nil {
-		return nil, err
+// parseModelSpecs expands -models values ("name=path[,name=path...]",
+// repeatable) and the legacy -model path into the registry's spec list,
+// preserving flag order so the first spec backs the legacy routes.
+func parseModelSpecs(legacy string, lists []string) ([]serve.ModelSpec, error) {
+	var specs []serve.ModelSpec
+	if legacy != "" {
+		specs = append(specs, serve.ModelSpec{Name: "default", Path: legacy})
 	}
-	return s, nil
-}
-
-// reload re-reads the model file and atomically swaps the snapshot in;
-// in-flight requests keep using the snapshot they already loaded.
-func (s *server) reload() error {
-	f, err := os.Open(s.modelPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	snap, err := core.SnapshotFromCheckpoint(f)
-	if err != nil {
-		return fmt.Errorf("load %s: %w", s.modelPath, err)
-	}
-	s.snap.Store(snap)
-	s.reloads.Add(1)
-	return nil
-}
-
-func (s *server) handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/decide", s.handleDecide)
-	mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v1/reload", s.handleReload)
-	if s.pprof {
-		// The DefaultServeMux registrations done by importing net/http/pprof
-		// don't apply to a private mux, so mount the handlers explicitly.
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	return mux
-}
-
-type decideRequest struct {
-	// State is a single observation of StateDim features...
-	State []float64 `json:"state,omitempty"`
-	// ...or States stacks a batch of them; exactly one must be set.
-	States [][]float64 `json:"states,omitempty"`
-	// QValues asks for the full Q rows alongside the argmax actions.
-	QValues bool `json:"qvalues,omitempty"`
-}
-
-type decideResponse struct {
-	Action  *int        `json:"action,omitempty"`
-	Actions []int       `json:"actions,omitempty"`
-	Q       [][]float64 `json:"q,omitempty"`
-}
-
-func (s *server) handleDecide(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
-	start := time.Now()
-	s.requests.Add(1)
-	var req decideRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
-		return
-	}
-	single := req.State != nil
-	if single == (req.States != nil) {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf(`exactly one of "state" and "states" must be set`))
-		return
-	}
-	states := req.States
-	if single {
-		states = [][]float64{req.State}
-	}
-
-	snap := s.snap.Load()
-	dim := snap.StateDim()
-	flat := make([]float64, 0, len(states)*dim)
-	for i, st := range states {
-		if len(st) != dim {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("state %d has %d features, model wants %d", i, len(st), dim))
-			return
-		}
-		flat = append(flat, st...)
-	}
-	if len(flat) == 0 {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
-		return
-	}
-
-	var resp decideResponse
-	actions := make([]int, len(states))
-	if req.QValues {
-		// One forward serves both: take the argmax from the Q rows.
-		na := snap.NumActions()
-		q := make([]float64, len(states)*na)
-		if err := snap.QValuesBatch(q, flat); err != nil {
-			s.fail(w, http.StatusInternalServerError, err)
-			return
-		}
-		resp.Q = make([][]float64, len(states))
-		for i := range states {
-			row := q[i*na : (i+1)*na]
-			resp.Q[i] = row
-			actions[i] = argmax(row)
-		}
-	} else if err := snap.GreedyBatch(actions, flat); err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
-		return
-	}
-	if single {
-		resp.Action = &actions[0]
-	} else {
-		resp.Actions = actions
-	}
-	s.statesServed.Add(int64(len(states)))
-	s.latencyNS.Add(time.Since(start).Nanoseconds())
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// argmax matches rl's tie-breaking: the first maximal action wins.
-func argmax(xs []float64) int {
-	best := 0
-	for i, x := range xs {
-		if x > xs[best] {
-			best = i
+	for _, list := range lists {
+		for _, entry := range strings.Split(list, ",") {
+			entry = strings.TrimSpace(entry)
+			if entry == "" {
+				continue
+			}
+			name, path, ok := strings.Cut(entry, "=")
+			if !ok || name == "" || path == "" {
+				return nil, fmt.Errorf("bad model spec %q (want name=path)", entry)
+			}
+			specs = append(specs, serve.ModelSpec{Name: name, Path: path})
 		}
 	}
-	return best
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	snap := s.snap.Load()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"model":       s.modelPath,
-		"state_dim":   snap.StateDim(),
-		"num_actions": snap.NumActions(),
-		"params":      snap.ParamCount(),
-		"reloads":     s.reloads.Load(),
-	})
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	requests := s.requests.Load()
-	var meanLatencyUS float64
-	if requests > 0 {
-		meanLatencyUS = float64(s.latencyNS.Load()) / float64(requests) / 1e3
+	if len(specs) == 0 {
+		return nil, errors.New("no models: pass -model PATH or -models name=path")
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"requests":        requests,
-		"states_served":   s.statesServed.Load(),
-		"errors":          s.errCount.Load(),
-		"reloads":         s.reloads.Load(),
-		"mean_latency_us": meanLatencyUS,
-	})
-}
-
-func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
-	if err := s.reload(); err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"reloads": s.reloads.Load()})
-}
-
-func (s *server) fail(w http.ResponseWriter, code int, err error) {
-	s.errCount.Add(1)
-	writeJSON(w, code, map[string]string{"error": err.Error()})
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("write response: %v", err)
-	}
+	return specs, nil
 }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	model := flag.String("model", "", "policy checkpoint to serve (CTJM model, CTDQ learner state or CTTC training checkpoint)")
+	model := flag.String("model", "", "single checkpoint to serve as model \"default\" (CTJM model, CTDQ learner state or CTTC training checkpoint)")
+	var modelLists []string
+	flag.Func("models", "named checkpoints to serve, name=path[,name=path...] (repeatable)", func(v string) error {
+		modelLists = append(modelLists, v)
+		return nil
+	})
+	defaultModel := flag.String("default-model", "", "model backing the legacy un-named routes (default: first spec)")
+	batch := flag.Bool("batch", true, "coalesce concurrent single-state decisions into batched forward passes")
+	window := flag.Duration("batch-window", serve.DefaultWindow, "micro-batch latency budget (max queueing delay for a lone request)")
+	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "max states per batched forward pass")
+	maxBody := flag.Int64("max-body", serve.DefaultMaxBody, "decide request body cap in bytes (larger bodies get 413)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight requests on SIGTERM/SIGINT")
 	pprofOn := flag.Bool("pprof", true, "expose net/http/pprof under /debug/pprof/ on the same listener")
 	flag.Parse()
-	if *model == "" {
-		fmt.Fprintln(os.Stderr, "ctjam-serve: -model is required")
+
+	specs, err := parseModelSpecs(*model, modelLists)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctjam-serve: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	srv, err := newServer(*model)
+	srv, err := serve.New(serve.Config{
+		Models:       specs,
+		DefaultModel: *defaultModel,
+		Batching:     *batch,
+		MaxBatch:     *maxBatch,
+		Window:       *window,
+		MaxBody:      *maxBody,
+		PProf:        *pprofOn,
+	})
 	if err != nil {
 		log.Fatalf("ctjam-serve: %v", err)
 	}
-	srv.pprof = *pprofOn
-	snap := srv.snap.Load()
-	log.Printf("serving %s (%d features -> %d actions, %d params) on %s",
-		*model, snap.StateDim(), snap.NumActions(), snap.ParamCount(), *addr)
+	for _, name := range srv.Registry().Names() {
+		m := srv.Registry().Lookup(name)
+		log.Printf("model %q: %s", name, m.Path())
+	}
+	log.Printf("serving %d model(s) on %s (batching=%v window=%v max-batch=%d)",
+		len(specs), *addr, *batch, *window, *maxBatch)
 
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
-			if err := srv.reload(); err != nil {
-				log.Printf("reload failed (keeping previous snapshot): %v", err)
+			if err := srv.ReloadAll(); err != nil {
+				log.Printf("reload failed (keeping previous snapshots where load failed): %v", err)
 			} else {
-				log.Printf("reloaded %s", *model)
+				log.Printf("reloaded all models")
 			}
 		}
 	}()
 
-	h := &http.Server{Addr: *addr, Handler: srv.handler(), ReadHeaderTimeout: 5 * time.Second}
-	if err := h.ListenAndServe(); err != nil {
+	h := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+
+	// Graceful drain: stop admissions (503), flush the pending micro-batches,
+	// unblock streaming sessions, then let http.Server.Shutdown wait out the
+	// in-flight requests under a deadline.
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGTERM, syscall.SIGINT)
+	shutdownDone := make(chan error, 1)
+	go func() {
+		sig := <-term
+		log.Printf("%s: draining (timeout %v)", sig, *shutdownTimeout)
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		shutdownDone <- h.Shutdown(ctx)
+	}()
+
+	if err := h.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("ctjam-serve: %v", err)
 	}
+	if err := <-shutdownDone; err != nil {
+		log.Fatalf("ctjam-serve: shutdown: %v", err)
+	}
+	log.Printf("drained cleanly")
 }

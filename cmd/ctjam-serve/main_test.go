@@ -1,365 +1,79 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
-	"math/rand"
-	"net/http"
-	"net/http/httptest"
-	"os"
-	"path/filepath"
-	"sync"
 	"testing"
 
-	"ctjam/internal/core"
-	"ctjam/internal/env"
-	"ctjam/internal/rl"
+	"ctjam/internal/serve"
 )
 
-const (
-	testStateDim = 6
-	testActions  = 4
-)
-
-// writeLearnerFile saves a small random-weight DQN learner state (CTDQ) and
-// returns the learner for reference decisions.
-func writeLearnerFile(t *testing.T, path string, seed int64) *rl.DQN {
-	t.Helper()
-	cfg := rl.DefaultDQNConfig(testStateDim, testActions)
-	cfg.Hidden = []int{8}
-	cfg.Seed = seed
-	d, err := rl.NewDQN(cfg)
-	if err != nil {
-		t.Fatal(err)
+func TestParseModelSpecs(t *testing.T) {
+	cases := []struct {
+		name   string
+		legacy string
+		lists  []string
+		want   []serve.ModelSpec
+		bad    bool
+	}{
+		{
+			name:   "legacy only",
+			legacy: "m.ctdq",
+			want:   []serve.ModelSpec{{Name: "default", Path: "m.ctdq"}},
+		},
+		{
+			name:  "named list",
+			lists: []string{"a=a.ctdq,b=b.ctjm"},
+			want: []serve.ModelSpec{
+				{Name: "a", Path: "a.ctdq"},
+				{Name: "b", Path: "b.ctjm"},
+			},
+		},
+		{
+			name:  "repeated flag",
+			lists: []string{"a=a.ctdq", "b=b.ctjm"},
+			want: []serve.ModelSpec{
+				{Name: "a", Path: "a.ctdq"},
+				{Name: "b", Path: "b.ctjm"},
+			},
+		},
+		{
+			name:   "legacy first then named",
+			legacy: "m.ctdq",
+			lists:  []string{"sweeper=s.ctdq"},
+			want: []serve.ModelSpec{
+				{Name: "default", Path: "m.ctdq"},
+				{Name: "sweeper", Path: "s.ctdq"},
+			},
+		},
+		{
+			name:  "path with equals keeps the remainder",
+			lists: []string{"a=dir/x=y.ctdq"},
+			want:  []serve.ModelSpec{{Name: "a", Path: "dir/x=y.ctdq"}},
+		},
+		{name: "empty", bad: true},
+		{name: "missing path", lists: []string{"a="}, bad: true},
+		{name: "missing name", lists: []string{"=p.ctdq"}, bad: true},
+		{name: "no separator", lists: []string{"plainpath"}, bad: true},
 	}
-	var buf bytes.Buffer
-	if err := d.SaveState(&buf); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	return d
-}
-
-func randStates(rng *rand.Rand, n int) [][]float64 {
-	out := make([][]float64, n)
-	for i := range out {
-		out[i] = make([]float64, testStateDim)
-		for j := range out[i] {
-			out[i][j] = rng.Float64()*2 - 1
-		}
-	}
-	return out
-}
-
-func postDecide(t *testing.T, url string, req decideRequest) (decideResponse, *http.Response) {
-	t.Helper()
-	body, err := json.Marshal(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(url+"/v1/decide", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var out decideResponse
-	if resp.StatusCode == http.StatusOK {
-		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			t.Fatal(err)
-		}
-	}
-	return out, resp
-}
-
-func TestServeDecideMatchesSnapshot(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "model.ctdq")
-	learner := writeLearnerFile(t, path, 7)
-	snap, err := learner.Snapshot()
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	srv, err := newServer(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.handler())
-	defer ts.Close()
-
-	rng := rand.New(rand.NewSource(1))
-	states := randStates(rng, 9)
-	flat := make([]float64, 0, len(states)*testStateDim)
-	for _, s := range states {
-		flat = append(flat, s...)
-	}
-	want := make([]int, len(states))
-	if err := snap.GreedyBatch(want, flat); err != nil {
-		t.Fatal(err)
-	}
-
-	// Single-state form.
-	out, resp := postDecide(t, ts.URL, decideRequest{State: states[0]})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("single decide status %d", resp.StatusCode)
-	}
-	if out.Action == nil || *out.Action != want[0] {
-		t.Fatalf("single action = %v, want %d", out.Action, want[0])
-	}
-
-	// Batch form, with Q values.
-	out, resp = postDecide(t, ts.URL, decideRequest{States: states, QValues: true})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("batch decide status %d", resp.StatusCode)
-	}
-	if len(out.Actions) != len(states) {
-		t.Fatalf("got %d actions, want %d", len(out.Actions), len(states))
-	}
-	for i, a := range out.Actions {
-		if a != want[i] {
-			t.Fatalf("action %d = %d, want %d", i, a, want[i])
-		}
-	}
-	if len(out.Q) != len(states) || len(out.Q[0]) != testActions {
-		t.Fatalf("q shape %dx%d, want %dx%d", len(out.Q), len(out.Q[0]), len(states), testActions)
-	}
-	qWant := make([]float64, len(states)*testActions)
-	if err := snap.QValuesBatch(qWant, flat); err != nil {
-		t.Fatal(err)
-	}
-	for i := range states {
-		for j := 0; j < testActions; j++ {
-			if out.Q[i][j] != qWant[i*testActions+j] {
-				t.Fatalf("q[%d][%d] = %v, want %v", i, j, out.Q[i][j], qWant[i*testActions+j])
-			}
-		}
-	}
-}
-
-func TestServeRejectsBadRequests(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "model.ctdq")
-	writeLearnerFile(t, path, 1)
-	srv, err := newServer(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.handler())
-	defer ts.Close()
-
-	cases := []decideRequest{
-		{},                            // neither state nor states
-		{State: []float64{1, 2}},      // wrong dimension
-		{States: [][]float64{{1, 2}}}, // wrong dimension in batch
-		{State: make([]float64, testStateDim), States: randStates(rand.New(rand.NewSource(2)), 1)}, // both
-	}
-	for i, req := range cases {
-		if _, resp := postDecide(t, ts.URL, req); resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("case %d: status %d, want 400", i, resp.StatusCode)
-		}
-	}
-	if resp, err := http.Get(ts.URL + "/v1/decide"); err != nil {
-		t.Fatal(err)
-	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("GET decide status %d, want 405", resp.StatusCode)
-	}
-
-	var stats map[string]any
-	resp, err := http.Get(ts.URL + "/v1/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if stats["errors"].(float64) < float64(len(cases)) {
-		t.Fatalf("stats errors = %v, want >= %d", stats["errors"], len(cases))
-	}
-}
-
-func TestServeHealthzAndHotSwap(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "model.ctdq")
-	writeLearnerFile(t, path, 7)
-	srv, err := newServer(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.handler())
-	defer ts.Close()
-
-	var health map[string]any
-	resp, err := http.Get(ts.URL + "/v1/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if health["status"] != "ok" {
-		t.Fatalf("healthz status %v", health["status"])
-	}
-	if int(health["state_dim"].(float64)) != testStateDim || int(health["num_actions"].(float64)) != testActions {
-		t.Fatalf("healthz dims %v x %v", health["state_dim"], health["num_actions"])
-	}
-	if int(health["reloads"].(float64)) != 1 {
-		t.Fatalf("healthz reloads %v, want 1 (initial load)", health["reloads"])
-	}
-
-	// Swap in different weights and reload via the endpoint.
-	other := writeLearnerFile(t, path, 99)
-	otherSnap, err := other.Snapshot()
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err = http.Post(ts.URL+"/v1/reload", "application/json", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("reload status %d", resp.StatusCode)
-	}
-
-	states := randStates(rand.New(rand.NewSource(3)), 5)
-	flat := make([]float64, 0, len(states)*testStateDim)
-	for _, s := range states {
-		flat = append(flat, s...)
-	}
-	want := make([]int, len(states))
-	if err := otherSnap.GreedyBatch(want, flat); err != nil {
-		t.Fatal(err)
-	}
-	out, resp2 := postDecide(t, ts.URL, decideRequest{States: states})
-	if resp2.StatusCode != http.StatusOK {
-		t.Fatalf("post-reload decide status %d", resp2.StatusCode)
-	}
-	for i, a := range out.Actions {
-		if a != want[i] {
-			t.Fatalf("post-reload action %d = %d, want %d (new weights)", i, a, want[i])
-		}
-	}
-
-	// A corrupt file must fail the reload and keep the old snapshot serving.
-	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	resp, err = http.Post(ts.URL+"/v1/reload", "application/json", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode == http.StatusOK {
-		t.Fatal("reload of garbage succeeded")
-	}
-	if _, resp := postDecide(t, ts.URL, decideRequest{States: states}); resp.StatusCode != http.StatusOK {
-		t.Fatalf("decide after failed reload: status %d", resp.StatusCode)
-	}
-}
-
-// TestServeConcurrentDecideAndReload exercises the snapshot hot-swap under
-// the race detector: decides and reloads interleave freely.
-func TestServeConcurrentDecideAndReload(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "model.ctdq")
-	writeLearnerFile(t, path, 7)
-	srv, err := newServer(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.handler())
-	defer ts.Close()
-
-	var wg sync.WaitGroup
-	for g := 0; g < 4; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(g)))
-			for i := 0; i < 25; i++ {
-				if _, resp := postDecide(t, ts.URL, decideRequest{States: randStates(rng, 3)}); resp.StatusCode != http.StatusOK {
-					t.Errorf("goroutine %d: decide status %d", g, resp.StatusCode)
-					return
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseModelSpecs(tc.legacy, tc.lists)
+			if tc.bad {
+				if err == nil {
+					t.Fatalf("got %v, want error", got)
 				}
-			}
-		}(g)
-	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for i := 0; i < 25; i++ {
-			resp, err := http.Post(ts.URL+"/v1/reload", "application/json", nil)
-			if err != nil {
-				t.Errorf("reload: %v", err)
 				return
 			}
-			resp.Body.Close()
-		}
-	}()
-	wg.Wait()
-}
-
-// TestServeLoadsAllCheckpointFormats proves one server binary consumes every
-// artifact the training pipeline produces: CTJM (Policy.Save), CTDQ
-// (rl.SaveState) and CTTC (SaveTraining).
-func TestServeLoadsAllCheckpointFormats(t *testing.T) {
-	dir := t.TempDir()
-
-	// CTDQ is covered above; build CTJM and CTTC from a real core agent.
-	acfg := core.DefaultDQNAgentConfig(16, 10, 4)
-	acfg.Hidden = []int{16}
-	agent, err := core.NewDQNAgent(acfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ecfg := env.DefaultConfig()
-	e, err := env.New(ecfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := agent.Train(e, 50); err != nil {
-		t.Fatal(err)
-	}
-
-	ctjm := filepath.Join(dir, "model.ctjm")
-	var buf bytes.Buffer
-	if err := agent.SaveModel(&buf); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(ctjm, buf.Bytes(), 0o644); err != nil {
-		t.Fatal(err)
-	}
-
-	cttc := filepath.Join(dir, "train.ctdq")
-	buf.Reset()
-	if err := agent.SaveTraining(&buf, e, core.TrainingCursor{Slot: 50}); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(cttc, buf.Bytes(), 0o644); err != nil {
-		t.Fatal(err)
-	}
-
-	for _, path := range []string{ctjm, cttc} {
-		srv, err := newServer(path)
-		if err != nil {
-			t.Fatalf("%s: %v", filepath.Base(path), err)
-		}
-		snap := srv.snap.Load()
-		if snap.StateDim() != 3*acfg.HistoryLen || snap.NumActions() != acfg.Channels*acfg.Powers {
-			t.Fatalf("%s: dims %dx%d", filepath.Base(path), snap.StateDim(), snap.NumActions())
-		}
-		ts := httptest.NewServer(srv.handler())
-		state := make([]float64, snap.StateDim())
-		out, resp := postDecide(t, ts.URL, decideRequest{State: state})
-		ts.Close()
-		if resp.StatusCode != http.StatusOK || out.Action == nil {
-			t.Fatalf("%s: decide status %d action %v", filepath.Base(path), resp.StatusCode, out.Action)
-		}
-	}
-}
-
-func TestServeMissingModel(t *testing.T) {
-	if _, err := newServer(filepath.Join(t.TempDir(), "nope.ctdq")); err == nil {
-		t.Fatal("missing model: expected error")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d specs %v, want %d", len(got), got, len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("spec %d = %+v, want %+v", i, got[i], tc.want[i])
+				}
+			}
+		})
 	}
 }

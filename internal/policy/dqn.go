@@ -43,6 +43,15 @@ func (p *DQN) DecideBatch(states []float64, actions []int) error {
 	return p.snap.GreedyBatch(actions, states)
 }
 
+// QValuesBatch writes the full Q rows for n stacked states into dst
+// (n*NumActions values). It shares the snapshot's pooled batch scratch, so —
+// like DecideBatch — it is safe for any number of concurrent callers; the
+// serving layer uses it for qvalues-annotated decisions without reaching
+// around the policy abstraction.
+func (p *DQN) QValuesBatch(dst, states []float64) error {
+	return p.snap.QValuesBatch(dst, states)
+}
+
 // DQNScheme pairs a snapshot-backed DQN policy with History encoders
 // matching the paper's 3*I observation window over (outcome, channel,
 // power).

@@ -24,7 +24,8 @@ type Snapshot struct {
 }
 
 type inferBuffers struct {
-	in, out nn.Matrix
+	in      nn.Matrix // header only: Data aliases the caller's states per call
+	out     nn.Matrix
 	scratch nn.InferScratch
 }
 
@@ -64,7 +65,8 @@ func (s *Snapshot) ParamCount() int { return s.net.ParamCount() }
 
 // QValuesBatch evaluates n stacked states (states holds n*StateDim values,
 // row-major) and writes the n*NumActions Q-values into dst. Safe for
-// concurrent use.
+// concurrent use. The states slice is read in place (never copied or
+// mutated); the caller must not modify it until the call returns.
 func (s *Snapshot) QValuesBatch(dst, states []float64) error {
 	n, err := s.batchSize(states)
 	if err != nil {
@@ -84,9 +86,10 @@ func (s *Snapshot) QValuesBatch(dst, states []float64) error {
 }
 
 // GreedyBatch evaluates n = len(actions) stacked states and writes
-// argmax_a Q(s_i, a) into actions[i]. Safe for concurrent use. With equal
-// weights this is bit-identical to n single-state GreedyAction calls on the
-// source learner.
+// argmax_a Q(s_i, a) into actions[i]. Safe for concurrent use; like
+// QValuesBatch it reads states in place, so the caller must not modify the
+// slice until the call returns. With equal weights this is bit-identical to
+// n single-state GreedyAction calls on the source learner.
 func (s *Snapshot) GreedyBatch(actions []int, states []float64) error {
 	n, err := s.batchSize(states)
 	if err != nil {
@@ -115,9 +118,15 @@ func (s *Snapshot) batchSize(states []float64) (int, error) {
 }
 
 func (s *Snapshot) forward(bufs *inferBuffers, states []float64, n int) (*nn.Matrix, error) {
-	bufs.in.Reshape(n, s.stateDim)
-	copy(bufs.in.Data, states)
-	if err := s.net.ForwardBatch(&bufs.out, &bufs.scratch, &bufs.in); err != nil {
+	// Zero-copy admission: ForwardBatch only ever reads its input (the dense
+	// and ReLU kernels write to caller scratch), so the pooled input matrix
+	// aliases the caller's states instead of staging a copy. The alias is
+	// dropped before the buffers go back to the pool so a recycled buffer
+	// never pins a caller's slice.
+	bufs.in.Rows, bufs.in.Cols, bufs.in.Data = n, s.stateDim, states[:n*s.stateDim]
+	err := s.net.ForwardBatch(&bufs.out, &bufs.scratch, &bufs.in)
+	bufs.in.Data = nil
+	if err != nil {
 		return nil, err
 	}
 	return &bufs.out, nil

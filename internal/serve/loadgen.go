@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig drives a sustained-throughput run against a live server: the
+// load generator behind the serve benchmark and any manual capacity test. It
+// models the deployment the batcher exists for — many concurrent clients,
+// each issuing single-state decisions as fast as the server answers them.
+type LoadConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Model targets /v1/models/{Model}/...; empty uses the legacy routes.
+	Model string
+	// Mode is "http" (one POST /v1/decide per decision, keep-alive) or
+	// "session" (one streaming /v1/session connection per client).
+	Mode string
+	// Clients is the number of concurrent clients.
+	Clients int
+	// Duration is how long to sustain the load.
+	Duration time.Duration
+	// StateDim sizes the random states sent.
+	StateDim int
+	// Seed derives each client's deterministic state stream.
+	Seed int64
+}
+
+// LoadResult reports what a load run achieved.
+type LoadResult struct {
+	Decisions int64         // successful decisions
+	Errors    int64         // failed requests/lines
+	Elapsed   time.Duration // wall clock actually spent
+}
+
+// PerSec returns sustained decisions per second.
+func (r LoadResult) PerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Decisions) / r.Elapsed.Seconds()
+}
+
+// RunLoad drives cfg.Clients concurrent clients for cfg.Duration and returns
+// the sustained throughput. Each client sends uniformly random states from
+// its own seeded stream, so runs are reproducible and cheap to generate.
+func RunLoad(cfg LoadConfig) (LoadResult, error) {
+	if cfg.Clients < 1 || cfg.StateDim < 1 || cfg.Duration <= 0 {
+		return LoadResult{}, fmt.Errorf("serve: load config needs clients, state dim and duration")
+	}
+	switch cfg.Mode {
+	case "http", "session":
+	default:
+		return LoadResult{}, fmt.Errorf("serve: load mode %q (want http or session)", cfg.Mode)
+	}
+	prefix := cfg.BaseURL + "/v1"
+	if cfg.Model != "" {
+		prefix = cfg.BaseURL + "/v1/models/" + cfg.Model
+	}
+	// Every client keeps one connection alive for the whole run.
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Clients,
+		MaxIdleConnsPerHost: cfg.Clients,
+	}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+	var decisions, errCount atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)))
+			var err error
+			if cfg.Mode == "http" {
+				err = loadHTTP(ctx, client, prefix, rng, cfg.StateDim, &decisions)
+			} else {
+				err = loadSession(ctx, client, prefix, rng, cfg.StateDim, &decisions)
+			}
+			if err != nil && ctx.Err() == nil {
+				errCount.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	return LoadResult{
+		Decisions: decisions.Load(),
+		Errors:    errCount.Load(),
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// randState fills buf with a fresh random observation.
+func randState(rng *rand.Rand, buf []float64) {
+	for i := range buf {
+		buf[i] = rng.Float64()*2 - 1
+	}
+}
+
+// encodeStates pre-renders n random request lines. Clients cycle through
+// them instead of formatting floats per decision: the generator and the
+// server share the CPU, so per-decision strconv work on the client side
+// would depress the very throughput being measured.
+func encodeStates(rng *rand.Rand, n, dim int) ([][]byte, error) {
+	lines := make([][]byte, n)
+	state := make([]float64, dim)
+	for i := range lines {
+		randState(rng, state)
+		b, err := json.Marshal(DecideRequest{State: state})
+		if err != nil {
+			return nil, err
+		}
+		lines[i] = append(b, '\n')
+	}
+	return lines, nil
+}
+
+// loadHTTP issues one POST /v1/decide per decision over a kept-alive
+// connection until the context expires.
+func loadHTTP(ctx context.Context, client *http.Client, prefix string, rng *rand.Rand, dim int, decisions *atomic.Int64) error {
+	lines, err := encodeStates(rng, 16, dim)
+	if err != nil {
+		return err
+	}
+	var body bytes.Reader
+	for i := 0; ctx.Err() == nil; i++ {
+		body.Reset(lines[i%len(lines)])
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, prefix+"/decide", &body)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		var out DecideResponse
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK || out.Action == nil {
+			return fmt.Errorf("decide: status %d error %q", resp.StatusCode, out.Error)
+		}
+		decisions.Add(1)
+	}
+	return nil
+}
+
+// loadSession holds one streaming /v1/session connection, writing one NDJSON
+// decide line per decision and reading the response line, until the context
+// expires.
+func loadSession(ctx context.Context, client *http.Client, prefix string, rng *rand.Rand, dim int, decisions *atomic.Int64) error {
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	// The request context must outlive ctx so the final response line can be
+	// read after the deadline; the session ends by closing the write side. The
+	// grace deadline is a backstop so a stuck server fails the run instead of
+	// hanging it.
+	reqCtx := context.Background()
+	if d, ok := ctx.Deadline(); ok {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithDeadline(reqCtx, d.Add(30*time.Second))
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, prefix+"/session", pr)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// Close the write side first: the server's read loop sees EOF and ends
+		// the stream, which is what lets the drain below finish.
+		pw.Close()
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("session: status %d", resp.StatusCode)
+	}
+	lines, err := encodeStates(rng, 16, dim)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(resp.Body)
+	var out DecideResponse
+	for i := 0; ctx.Err() == nil; i++ {
+		if _, err := pw.Write(lines[i%len(lines)]); err != nil {
+			return err
+		}
+		out = DecideResponse{}
+		if err := dec.Decode(&out); err != nil {
+			return err
+		}
+		if out.Error != "" || out.Action == nil {
+			return fmt.Errorf("session decide: %q", out.Error)
+		}
+		decisions.Add(1)
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of fixed power-of-two buckets in a Hist. Bucket i
+// counts observations v with 2^(i-1) < v <= 2^i (bucket 0 counts v <= 1), so
+// the histogram spans 1 .. 2^33 — microseconds from sub-µs to ~2.4 hours, or
+// batch fills from 1 state to far past any sane max-batch — with ~2x
+// resolution everywhere and no allocation or locking on the hot path.
+const histBuckets = 34
+
+// Hist is a lock-free fixed-bucket histogram of non-negative int64 samples
+// (request latencies in µs, batch fills in states). All methods are safe for
+// concurrent use; quantiles are computed from the bucket counts at read time,
+// so Observe stays two atomic adds.
+type Hist struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// bucketOf returns the index of the bucket covering v.
+func bucketOf(v int64) int {
+	b := 0
+	for upper := int64(1); b < histBuckets-1 && v > upper; b++ {
+		upper <<= 1
+	}
+	return b
+}
+
+// bucketUpper returns the inclusive upper edge of bucket i.
+func bucketUpper(i int) int64 { return int64(1) << i }
+
+// Observe records one sample.
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// ObserveDuration records a latency sample in whole microseconds.
+func (h *Hist) ObserveDuration(d time.Duration) { h.Observe(d.Microseconds()) }
+
+// Count returns the number of samples observed.
+func (h *Hist) Count() int64 { return h.n.Load() }
+
+// Mean returns the mean sample, or 0 with no samples.
+func (h *Hist) Mean() float64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns the upper edge of the bucket holding the q-quantile
+// (0 < q <= 1), i.e. an upper bound on the true quantile that is at most 2x
+// off. Returns 0 with no samples.
+func (h *Hist) Quantile(q float64) int64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q*float64(n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// Buckets returns the non-empty buckets as a {upper edge: count} map, for the
+// stats endpoint.
+func (h *Hist) Buckets() map[int64]int64 {
+	out := make(map[int64]int64)
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c > 0 {
+			out[bucketUpper(i)] = c
+		}
+	}
+	return out
+}
+
+// Stats aggregates one model's serving counters. All fields are safe for
+// concurrent update.
+type Stats struct {
+	Requests atomic.Int64 // decide requests (HTTP) + session decisions
+	States   atomic.Int64 // states evaluated
+	Errors   atomic.Int64 // failed requests / session decisions
+
+	Sessions         atomic.Int64 // streaming sessions opened
+	SessionDecisions atomic.Int64 // decisions served over sessions
+
+	Latency Hist // per-decision latency, µs
+
+	// Batcher observability: how the admission queue is actually flushing.
+	BatchFill   Hist         // states per flushed micro-batch
+	FlushFull   atomic.Int64 // flushes triggered by a full batch
+	FlushWindow atomic.Int64 // flushes triggered by the latency window (or drain)
+	Direct      atomic.Int64 // decisions that bypassed the batcher
+}
+
+// latencyStats renders a Hist into the stats-endpoint JSON shape.
+func latencyStats(h *Hist) map[string]any {
+	return map[string]any{
+		"count":   h.Count(),
+		"mean_us": h.Mean(),
+		"p50_us":  h.Quantile(0.50),
+		"p95_us":  h.Quantile(0.95),
+		"p99_us":  h.Quantile(0.99),
+		"buckets": h.Buckets(),
+	}
+}

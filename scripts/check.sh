@@ -16,9 +16,12 @@ go test -race ./...
 # The batched inference engine's contracts are concurrency-sensitive: one
 # immutable snapshot serves many goroutines, and ctjam-serve hot-swaps it
 # under load. Run those suites under -race explicitly (and with -count=1 so
-# they never come from the build cache).
+# they never come from the build cache). The serve suite carries the
+# end-to-end batching-equivalence proof: batching on/off must return
+# identical actions under concurrent load and hot-reload churn.
 go test -race -count=1 -run 'TestBatchSerialEquivalence|TestBatchValidation' ./internal/policy
 go test -race -count=1 -run 'TestSnapshot' ./internal/rl
+go test -race -count=1 ./internal/serve
 go test -race -count=1 ./cmd/ctjam-serve
 
 # The sweep-point cache shares memoized counters and trained schemes across
@@ -32,11 +35,12 @@ go test -race -count=1 -run 'TestSweepCache|TestBatchedSerialEvalCounters' ./int
 # coordinator's lease ledger must stay race-clean under concurrent workers.
 go test -race -count=1 -run 'TestDistributed' ./internal/dist
 
-# Benchmark smoke: one iteration of the headline cache benchmark and the
-# batched policy engine, so the committed BENCH numbers stay regenerable
-# (full runs via scripts/bench.sh).
+# Benchmark smoke: one iteration of the headline cache benchmark, the
+# batched policy engine, and a short sustained-serve window, so the
+# committed BENCH numbers stay regenerable (full runs via scripts/bench.sh).
 go test -run '^$' -bench '^BenchmarkAllSweeps$' -benchtime 1x .
 go test -run '^$' -bench '^BenchmarkPolicyBatch$' -benchtime 1x ./internal/policy
+CTJAM_SERVE_BENCH_MS=200 go test -run '^$' -bench '^BenchmarkServeSustained$' -benchtime 1x ./internal/serve
 
 # Fuzz smoke: a few seconds per target catches shallow panics and keeps the
 # committed corpora replaying. Override the budget with CHECK_FUZZTIME
