@@ -14,6 +14,14 @@
 // network (ctjam-train -out), a DQN learner state, or a full training
 // checkpoint (ctjam-train -checkpoint).
 //
+// Each model serves on the exact float64 engine by default. A ":fast" suffix
+// on a -models path (name=path:fast) — or -fast alongside -model — serves
+// that model on the float32+FMA fast path instead: roughly 3x the batched
+// decision throughput, with Q-values tolerance-close to exact and decisions
+// that can differ only at exact-Q near-ties (see DESIGN.md, "Fast-path
+// numerics"). The engine each model runs on is reported in /v1/models and
+// /v1/stats.
+//
 // Endpoints:
 //
 //	POST /v1/decide                 {"state":[...]} or {"states":[[...],...]},
@@ -63,11 +71,13 @@ import (
 
 // parseModelSpecs expands -models values ("name=path[,name=path...]",
 // repeatable) and the legacy -model path into the registry's spec list,
-// preserving flag order so the first spec backs the legacy routes.
-func parseModelSpecs(legacy string, lists []string) ([]serve.ModelSpec, error) {
+// preserving flag order so the first spec backs the legacy routes. A ":fast"
+// suffix on a path serves that model on the float32+FMA fast path; fastLegacy
+// does the same for the -model spelling.
+func parseModelSpecs(legacy string, fastLegacy bool, lists []string) ([]serve.ModelSpec, error) {
 	var specs []serve.ModelSpec
 	if legacy != "" {
-		specs = append(specs, serve.ModelSpec{Name: "default", Path: legacy})
+		specs = append(specs, serve.ModelSpec{Name: "default", Path: legacy, Fast: fastLegacy})
 	}
 	for _, list := range lists {
 		for _, entry := range strings.Split(list, ",") {
@@ -77,9 +87,16 @@ func parseModelSpecs(legacy string, lists []string) ([]serve.ModelSpec, error) {
 			}
 			name, path, ok := strings.Cut(entry, "=")
 			if !ok || name == "" || path == "" {
-				return nil, fmt.Errorf("bad model spec %q (want name=path)", entry)
+				return nil, fmt.Errorf("bad model spec %q (want name=path[:fast])", entry)
 			}
-			specs = append(specs, serve.ModelSpec{Name: name, Path: path})
+			fast := false
+			if p, found := strings.CutSuffix(path, ":fast"); found {
+				fast, path = true, p
+				if path == "" {
+					return nil, fmt.Errorf("bad model spec %q (want name=path[:fast])", entry)
+				}
+			}
+			specs = append(specs, serve.ModelSpec{Name: name, Path: path, Fast: fast})
 		}
 	}
 	if len(specs) == 0 {
@@ -91,6 +108,7 @@ func parseModelSpecs(legacy string, lists []string) ([]serve.ModelSpec, error) {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	model := flag.String("model", "", "single checkpoint to serve as model \"default\" (CTJM model, CTDQ learner state or CTTC training checkpoint)")
+	fast := flag.Bool("fast", false, "serve the -model checkpoint on the float32+FMA inference fast path (named -models entries opt in with a path:fast suffix)")
 	var modelLists []string
 	flag.Func("models", "named checkpoints to serve, name=path[,name=path...] (repeatable)", func(v string) error {
 		modelLists = append(modelLists, v)
@@ -105,7 +123,7 @@ func main() {
 	pprofOn := flag.Bool("pprof", true, "expose net/http/pprof under /debug/pprof/ on the same listener")
 	flag.Parse()
 
-	specs, err := parseModelSpecs(*model, modelLists)
+	specs, err := parseModelSpecs(*model, *fast, modelLists)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ctjam-serve: %v\n", err)
 		flag.Usage()
@@ -125,7 +143,7 @@ func main() {
 	}
 	for _, name := range srv.Registry().Names() {
 		m := srv.Registry().Lookup(name)
-		log.Printf("model %q: %s", name, m.Path())
+		log.Printf("model %q: %s (engine %s)", name, m.Path(), m.Engine())
 	}
 	log.Printf("serving %d model(s) on %s (batching=%v window=%v max-batch=%d)",
 		len(specs), *addr, *batch, *window, *maxBatch)

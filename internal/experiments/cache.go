@@ -179,8 +179,8 @@ func (c *Cache) ImportPoint(key string, counters metrics.Counters) {
 // the evaluation seed); Engine/TrainSlots/Seed pin the scheme construction
 // (see rlScheme) and Slots the evaluation length.
 func pointKey(o Options, cfg env.Config) string {
-	return fmt.Sprintf("pt|%s|eng=%d|train=%d|seed=%d|slots=%d",
-		cfg.Fingerprint(), int(o.Engine), o.TrainSlots, o.Seed, o.Slots)
+	return fmt.Sprintf("pt|%s|eng=%d|fast=%t|train=%d|seed=%d|slots=%d",
+		cfg.Fingerprint(), int(o.Engine), o.Fast32, o.TrainSlots, o.Seed, o.Slots)
 }
 
 // schemeKey fingerprints the trained/solved scheme a point evaluates. Scheme
@@ -190,8 +190,8 @@ func pointKey(o Options, cfg env.Config) string {
 // key and points differing only in it share one scheme.
 func schemeKey(o Options, cfg env.Config) string {
 	cfg.Seed = 0
-	return fmt.Sprintf("sc|%s|eng=%d|train=%d|seed=%d",
-		cfg.Fingerprint(), int(o.Engine), o.TrainSlots, o.Seed)
+	return fmt.Sprintf("sc|%s|eng=%d|fast=%t|train=%d|seed=%d",
+		cfg.Fingerprint(), int(o.Engine), o.Fast32, o.TrainSlots, o.Seed)
 }
 
 // rlScheme builds the engine-selected batched scheme of the paper's "RL FH"
@@ -215,6 +215,9 @@ func rlScheme(o Options, cfg env.Config) (*policy.Scheme, error) {
 		}
 		if _, err := agent.Train(trainEnv, o.TrainSlots); err != nil {
 			return nil, err
+		}
+		if o.Fast32 {
+			return agent.SchemeFast32()
 		}
 		return agent.Scheme()
 	case EngineMDP:

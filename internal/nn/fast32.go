@@ -1,0 +1,214 @@
+package nn
+
+import "fmt"
+
+// Float32 fast-path inference engine. The float64 batched path (batch.go)
+// is the repo's exact reference: its kernels avoid FMA precisely so results
+// stay bit-identical to the scalar loops, and every golden trace is pinned
+// to it. This file is the opt-in counterpart for serving and batched eval,
+// where the slot deadline matters more than the last bit: weights quantize
+// once to float32 (half the memory traffic), and on amd64 with FMA the dense
+// layers run on a 4-row x 16-lane VFMADD231PS microkernel with fused bias
+// add and ReLU (gemm32_amd64.s). Where the kernel does not apply — tail rows
+// and columns, CPUs without FMA, noasm builds — the pure-Go float32 kernel
+// below computes the same ascending-k accumulation without fusing the
+// multiply-add rounding.
+//
+// Nothing on this path is bit-identical to the exact engine, by design: the
+// contract is the tolerance-gated dual-engine harness in engines_test.go
+// (per-op error budgets against the float64 reference) plus the end-to-end
+// policy-action agreement suites in internal/rl and internal/policy.
+
+// Matrix32 is a dense row-major float32 matrix — the fast engine's
+// counterpart of Matrix.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix32 allocates a zero float32 matrix.
+func NewMatrix32(rows, cols int) *Matrix32 {
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Reshape resizes m to rows x cols in place, reusing the backing array when
+// it has capacity. Element values are unspecified afterwards.
+func (m *Matrix32) Reshape(rows, cols int) {
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float32, n)
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:n]
+}
+
+// unit32 is one fused inference stage of a quantized network: a dense layer
+// (y = x@W + b) with its optional trailing ReLU folded in, so the microkernel
+// writes activations once instead of re-walking the batch for the
+// activation pass.
+type unit32 struct {
+	in, out int
+	w       []float32 // in x out, row-major
+	bias    []float32 // out
+	relu    bool
+}
+
+// Net32 is an immutable float32 inference snapshot of a Network, built by
+// Quantize32. It holds only quantized weights — no gradients, scratch or
+// training state — and its forward pass touches nothing but caller-supplied
+// buffers, so one Net32 may serve any number of concurrent ForwardBatch32
+// callers.
+type Net32 struct {
+	units []unit32
+}
+
+// Quantize32 converts the network's weights to a float32 inference snapshot,
+// fusing each Dense layer with its trailing ReLU. Conversion rounds every
+// parameter to the nearest float32 (one half-ULP of relative error at
+// float32 precision); the returned snapshot shares nothing with the network,
+// which may keep training afterwards. Layer types the batched engine cannot
+// evaluate, and ReLU layers that do not directly follow a Dense layer, are
+// rejected.
+func (n *Network) Quantize32() (*Net32, error) {
+	var units []unit32
+	for li, l := range n.Layers {
+		switch layer := l.(type) {
+		case *Dense:
+			w, b := layer.W.Value, layer.B.Value
+			u := unit32{
+				in:   w.Rows,
+				out:  w.Cols,
+				w:    quantizeSlice(w.Data),
+				bias: quantizeSlice(b.Data),
+			}
+			units = append(units, u)
+		case *ReLU:
+			if len(units) == 0 || units[len(units)-1].relu {
+				return nil, fmt.Errorf("nn: quantize32: layer %d: ReLU does not follow a dense layer", li)
+			}
+			units[len(units)-1].relu = true
+		default:
+			return nil, fmt.Errorf("nn: quantize32 cannot convert layer type %T", l)
+		}
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("nn: quantize32: network has no dense layers")
+	}
+	return &Net32{units: units}, nil
+}
+
+// quantizeSlice rounds a float64 parameter slice to float32.
+func quantizeSlice(src []float64) []float32 {
+	out := make([]float32, len(src))
+	for i, v := range src {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// InDim returns the feature-vector length the snapshot expects.
+func (q *Net32) InDim() int { return q.units[0].in }
+
+// OutDim returns the output width of the last layer.
+func (q *Net32) OutDim() int { return q.units[len(q.units)-1].out }
+
+// InferScratch32 holds the intermediate activation buffers for
+// ForwardBatch32. The zero value is ready to use; buffers grow on demand and
+// are reused across calls. An InferScratch32 must not be shared between
+// concurrent calls.
+type InferScratch32 struct {
+	a, b Matrix32
+}
+
+// ForwardBatch32 evaluates the quantized network on a batch (rows of x are
+// samples), writing the output into dst. Like the exact engine's
+// ForwardBatch it mutates nothing but dst and scratch, so one Net32 safely
+// serves any number of concurrent callers, each with its own dst and
+// scratch. Results track the float64 reference within the tolerance budgets
+// the dual-engine harness enforces; they are not bit-identical to it.
+func (q *Net32) ForwardBatch32(dst *Matrix32, s *InferScratch32, x *Matrix32) error {
+	if x.Cols != q.units[0].in {
+		return fmt.Errorf("nn: fast32 batch has %d features, network wants %d", x.Cols, q.units[0].in)
+	}
+	cur := x
+	bufs := [2]*Matrix32{&s.a, &s.b}
+	idx := 0
+	for ui := range q.units {
+		u := &q.units[ui]
+		out := dst
+		if ui != len(q.units)-1 {
+			out = bufs[idx]
+			idx ^= 1
+		}
+		out.Reshape(cur.Rows, u.out)
+		denseForward32(out, cur, u)
+		cur = out
+	}
+	return nil
+}
+
+// fast32UseAsm gates the FMA microkernel inside denseForward32. It is a
+// variable (initialized from the CPU check) so the dual-engine tests can
+// exercise the pure-Go fallback on hardware that has FMA; outside tests it
+// is never written.
+var fast32UseAsm = useFMA
+
+// denseForward32 computes dst = x@W + bias (with optional fused ReLU) for
+// one quantized unit. The FMA microkernel covers 4-row blocks over the
+// 16-lane column prefix; remainder rows and tail columns — and everything,
+// when the CPU lacks FMA or the build is noasm — run the pure-Go float32
+// kernel.
+func denseForward32(dst, x *Matrix32, u *unit32) {
+	m, k, n := x.Rows, u.in, u.out
+	n16 := 0
+	if fast32UseAsm && k > 0 {
+		n16 = n &^ 15
+	}
+	i := 0
+	if n16 > 0 {
+		relu := 0
+		if u.relu {
+			relu = 1
+		}
+		for ; i+4 <= m; i += 4 {
+			dense32FMA4x16(&dst.Data[i*n], &x.Data[i*k], &u.w[0], &u.bias[0], k, n, n16, relu)
+		}
+	}
+	// Remainder rows take the scalar kernel across all columns; rows the
+	// microkernel covered finish their column tail.
+	dense32Scalar(dst.Data, x.Data, i, m, 0, n, k, n, u.w, u.bias, u.relu)
+	if n16 < n {
+		dense32Scalar(dst.Data, x.Data, 0, i, n16, n, k, n, u.w, u.bias, u.relu)
+	}
+}
+
+// dense32Scalar is the pure-Go float32 dense kernel: for rows [rowLo, rowHi)
+// and columns [colLo, colHi) it accumulates x@W in ascending k with float32
+// arithmetic (separate multiply and add roundings — no FMA), adds the bias,
+// and applies ReLU when asked. Per output element this is the same
+// accumulation order as the microkernel, so the two differ only by the fused
+// rounding FMA performs at each step.
+func dense32Scalar(dst, x []float32, rowLo, rowHi, colLo, colHi, k, n int, w, bias []float32, relu bool) {
+	for r := rowLo; r < rowHi; r++ {
+		xrow := x[r*k : (r+1)*k]
+		orow := dst[r*n : (r+1)*n]
+		for j := colLo; j < colHi; j++ {
+			orow[j] = 0
+		}
+		for kk, xv := range xrow {
+			wrow := w[kk*n : (kk+1)*n]
+			for j := colLo; j < colHi; j++ {
+				orow[j] += xv * wrow[j]
+			}
+		}
+		for j := colLo; j < colHi; j++ {
+			v := orow[j] + bias[j]
+			// Matches the microkernel's VMAXPS with +0: negatives and -0
+			// both map to +0, positives pass through.
+			if !(v > 0) && relu {
+				v = 0
+			}
+			orow[j] = v
+		}
+	}
+}

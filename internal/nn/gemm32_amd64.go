@@ -1,0 +1,27 @@
+//go:build amd64 && !noasm
+
+package nn
+
+// useFMA gates the float32 FMA microkernel in denseForward32. It is true
+// when the CPU implements AVX and FMA3 and the OS saves YMM state on context
+// switch (CPUID.1:ECX.FMA+OSXSAVE+AVX plus XCR0 XMM|YMM), checked once at
+// init. When false the fast engine still works — every dense layer runs the
+// pure-Go float32 kernel instead.
+var useFMA = cpuSupportsFMA()
+
+// cpuSupportsFMA reports whether AVX+FMA3 is usable (CPU + OS). Implemented
+// in gemm32_amd64.s.
+func cpuSupportsFMA() bool
+
+// dense32FMA4x16 computes four rows of a fused dense layer: for four
+// consecutive rows of x (row stride k values) it writes
+// dst = x@w + bias (with ReLU when relu != 0) over columns [0, n16), where
+// n16 %% 16 == 0 and n16 > 0, k > 0. dst and w share row stride n values.
+// Each 16-column tile holds its eight accumulators in registers across the
+// whole ascending-k loop (VFMADD231PS), then adds the bias and applies ReLU
+// once before storing — the same per-element accumulation order as
+// dense32Scalar, differing only by FMA's fused rounding at each step.
+// Implemented in gemm32_amd64.s.
+//
+//go:noescape
+func dense32FMA4x16(dst, x, w, bias *float32, k, n, n16, relu int)

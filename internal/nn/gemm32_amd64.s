@@ -1,0 +1,142 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func cpuSupportsFMA() bool
+//
+// CPUID.1:ECX must report FMA (bit 12), OSXSAVE (bit 27) and AVX (bit 28),
+// and XCR0 must show the OS saving XMM and YMM state (bits 1 and 2).
+TEXT ·cpuSupportsFMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	MOVL CX, DX
+	ANDL $(1<<12), DX
+	JZ   nofma
+	MOVL CX, DX
+	ANDL $(1<<27), DX
+	JZ   nofma
+	MOVL CX, DX
+	ANDL $(1<<28), DX
+	JZ   nofma
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  nofma
+	MOVB $1, ret+0(FP)
+	RET
+nofma:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func dense32FMA4x16(dst, x, w, bias *float32, k, n, n16, relu int)
+//
+// Fused dense-layer microkernel: four rows of x (row stride k) times w
+// (k x n), plus bias, optional ReLU, written to four rows of dst (row stride
+// n, shared with w), columns [0, n16) with n16 % 16 == 0.
+//
+// Unlike the float64 kernels, which stream dst through memory so the scalar
+// rounding sequence is preserved, this kernel keeps each 16-column tile's
+// eight accumulators (4 rows x 2 YMM of 8 float32) in registers across the
+// entire k loop and uses VFMADD231PS: one fused rounding per step instead of
+// the scalar kernel's separate multiply and add roundings. The k loop is
+// ascending, so per output element the accumulation order matches
+// dense32Scalar and the difference is rounding only.
+//
+// Register plan: the j loop walks 16-column tiles — DI (dst), BX (w) and R9
+// (bias) each advance 64 bytes per tile, R12 counts columns down. Inside a
+// tile, DX walks x's current column, AX walks w's rows, R13 counts k down.
+// Y0-Y7 are the accumulators, Y8-Y11 the four broadcast x-values for the
+// current k, Y12/Y13 the w (then bias) column blocks, Y14 the +0 vector for
+// ReLU. R8/R11 are the dst-w/x row strides in bytes, R10/R14 their triples
+// for row-3 addressing.
+TEXT ·dense32FMA4x16(SB), NOSPLIT, $0-64
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ w+16(FP), BX
+	MOVQ bias+24(FP), R9
+	MOVQ k+32(FP), CX
+	MOVQ n+40(FP), R8
+	SHLQ $2, R8               // dst/w row stride in bytes
+	MOVQ k+32(FP), R11
+	SHLQ $2, R11              // x row stride in bytes
+	MOVQ R8, R10
+	LEAQ (R10)(R10*2), R10    // 3 * dst/w row stride, for row 3
+	MOVQ R11, R14
+	LEAQ (R14)(R14*2), R14    // 3 * x row stride, for row 3
+	MOVQ n16+48(FP), R12      // columns remaining
+	MOVQ relu+56(FP), R15
+
+jtile:
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	MOVQ SI, DX               // cursor into x's current column
+	MOVQ BX, AX               // cursor into w's row kk, this tile's columns
+	MOVQ CX, R13
+
+kloop:
+	VBROADCASTSS (DX), Y8            // x0[kk]
+	VBROADCASTSS (DX)(R11*1), Y9     // x1[kk]
+	VBROADCASTSS (DX)(R11*2), Y10    // x2[kk]
+	VBROADCASTSS (DX)(R14*1), Y11    // x3[kk]
+	VMOVUPS (AX), Y12
+	VMOVUPS 32(AX), Y13
+	VFMADD231PS Y12, Y8, Y0
+	VFMADD231PS Y13, Y8, Y1
+	VFMADD231PS Y12, Y9, Y2
+	VFMADD231PS Y13, Y9, Y3
+	VFMADD231PS Y12, Y10, Y4
+	VFMADD231PS Y13, Y10, Y5
+	VFMADD231PS Y12, Y11, Y6
+	VFMADD231PS Y13, Y11, Y7
+	ADDQ $4, DX               // next x column
+	ADDQ R8, AX               // next w row
+	DECQ R13
+	JNZ  kloop
+
+	VMOVUPS (R9), Y12         // bias, this tile's columns
+	VMOVUPS 32(R9), Y13
+	VADDPS Y12, Y0, Y0
+	VADDPS Y13, Y1, Y1
+	VADDPS Y12, Y2, Y2
+	VADDPS Y13, Y3, Y3
+	VADDPS Y12, Y4, Y4
+	VADDPS Y13, Y5, Y5
+	VADDPS Y12, Y6, Y6
+	VADDPS Y13, Y7, Y7
+	TESTQ R15, R15
+	JZ    store
+	// VMAXPS returns its second source on NaN and equal-zero ties, so with
+	// +0 there this matches the scalar `!(v > 0) -> 0` branch bit for bit.
+	VXORPS Y14, Y14, Y14
+	VMAXPS Y14, Y0, Y0
+	VMAXPS Y14, Y1, Y1
+	VMAXPS Y14, Y2, Y2
+	VMAXPS Y14, Y3, Y3
+	VMAXPS Y14, Y4, Y4
+	VMAXPS Y14, Y5, Y5
+	VMAXPS Y14, Y6, Y6
+	VMAXPS Y14, Y7, Y7
+
+store:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, (DI)(R8*1)
+	VMOVUPS Y3, 32(DI)(R8*1)
+	VMOVUPS Y4, (DI)(R8*2)
+	VMOVUPS Y5, 32(DI)(R8*2)
+	VMOVUPS Y6, (DI)(R10*1)
+	VMOVUPS Y7, 32(DI)(R10*1)
+	ADDQ $64, DI              // next 16-column tile
+	ADDQ $64, BX
+	ADDQ $64, R9
+	SUBQ $16, R12
+	JNZ  jtile
+	VZEROUPPER
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64 || noasm
+
+package nn
+
+// Builds without the assembly kernels run the float32 fast path entirely on
+// the pure-Go kernel in fast32.go; the tolerance contract is identical.
+var useFMA = false
+
+func dense32FMA4x16(dst, x, w, bias *float32, k, n, n16, relu int) {
+	panic("nn: fma kernel not available in this build")
+}

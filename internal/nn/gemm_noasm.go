@@ -1,9 +1,10 @@
-//go:build !amd64
+//go:build !amd64 || noasm
 
 package nn
 
-// Non-amd64 builds have no assembly microkernel; matMulBatchInto keeps to the
-// portable blocked kernel, which computes identical bits.
+// Builds without the assembly microkernel (non-amd64, or the noasm tag used
+// by the CI fallback leg) keep matMulBatchInto on the portable blocked
+// kernel, which computes identical bits.
 var useAVX = false
 
 func block4AVX(dst, a, b *float64, k, stride, cols4 int) {

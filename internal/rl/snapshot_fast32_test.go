@@ -1,0 +1,183 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Fast-engine snapshot tests: the float32 view must agree with the exact
+// engine at the action level (the budget that matters for the defense loop),
+// track its Q-values within the quantization tolerance, and stay safe under
+// concurrent use.
+
+func TestSnapshotFast32View(t *testing.T) {
+	d := testLearner(t, 7)
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Engine() != EngineExact {
+		t.Fatalf("default engine %v, want %v", snap.Engine(), EngineExact)
+	}
+	fast, err := snap.Fast32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Engine() != EngineFast32 {
+		t.Fatalf("fast engine %v, want %v", fast.Engine(), EngineFast32)
+	}
+	if fast == snap {
+		t.Fatal("Fast32 must return a distinct view, not mutate the source")
+	}
+	if fast.StateDim() != snap.StateDim() || fast.NumActions() != snap.NumActions() {
+		t.Fatalf("fast dims %dx%d != exact %dx%d",
+			fast.StateDim(), fast.NumActions(), snap.StateDim(), snap.NumActions())
+	}
+	again, err := fast.Fast32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != fast {
+		t.Fatal("Fast32 on a fast view must be idempotent")
+	}
+	if got, want := EngineExact.String(), "exact"; got != want {
+		t.Fatalf("EngineExact.String() = %q", got)
+	}
+	if got, want := EngineFast32.String(), "fast32"; got != want {
+		t.Fatalf("EngineFast32.String() = %q", got)
+	}
+}
+
+func TestSnapshotFast32QValuesWithinTolerance(t *testing.T) {
+	d := testLearner(t, 11)
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := snap.Fast32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 3, 17, 64} {
+		states := randBatch(rng, n, 24)
+		exact := make([]float64, n*160)
+		approx := make([]float64, n*160)
+		if err := snap.QValuesBatch(exact, states); err != nil {
+			t.Fatal(err)
+		}
+		if err := fast.QValuesBatch(approx, states); err != nil {
+			t.Fatal(err)
+		}
+		for i := range exact {
+			diff := math.Abs(approx[i] - exact[i])
+			if diff > 5e-4+5e-4*math.Abs(exact[i]) {
+				t.Fatalf("n=%d q %d: fast %v vs exact %v exceeds budget", n, i, approx[i], exact[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotFast32ActionAgreement is the end-to-end budget on the rl
+// layer: across randomized state batches, fast-engine greedy actions must
+// agree with exact-engine actions at ≥99.9%, and every disagreement must be
+// an exact-engine near-tie (two Q-values so close that either action is
+// defensible).
+func TestSnapshotFast32ActionAgreement(t *testing.T) {
+	d := testLearner(t, 13)
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := snap.Fast32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const batches, n = 40, 100
+	total, agree := 0, 0
+	for b := 0; b < batches; b++ {
+		states := randBatch(rng, n, 24)
+		exactA := make([]int, n)
+		fastA := make([]int, n)
+		if err := snap.GreedyBatch(exactA, states); err != nil {
+			t.Fatal(err)
+		}
+		if err := fast.GreedyBatch(fastA, states); err != nil {
+			t.Fatal(err)
+		}
+		q := make([]float64, n*160)
+		if err := snap.QValuesBatch(q, states); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			total++
+			if exactA[i] == fastA[i] {
+				agree++
+				continue
+			}
+			row := q[i*160 : (i+1)*160]
+			gap := math.Abs(row[exactA[i]] - row[fastA[i]])
+			if gap > 1e-3 {
+				t.Fatalf("batch %d state %d: engines picked %d vs %d with Q gap %v — not a near-tie",
+					b, i, exactA[i], fastA[i], gap)
+			}
+		}
+	}
+	rate := float64(agree) / float64(total)
+	if rate < 0.999 {
+		t.Fatalf("action agreement %.5f over %d states, want >= 0.999", rate, total)
+	}
+}
+
+func TestSnapshotFast32Concurrent(t *testing.T) {
+	d := testLearner(t, 17)
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := snap.Fast32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	states := randBatch(rng, 16, 24)
+	want := make([]int, 16)
+	if err := fast.GreedyBatch(want, states); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	fail := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			actions := make([]int, 16)
+			q := make([]float64, 16*160)
+			for iter := 0; iter < 40; iter++ {
+				if err := fast.GreedyBatch(actions, states); err != nil {
+					fail <- err.Error()
+					return
+				}
+				for i := range want {
+					if actions[i] != want[i] {
+						fail <- "concurrent fast32 greedy diverged"
+						return
+					}
+				}
+				if err := fast.QValuesBatch(q, states); err != nil {
+					fail <- err.Error()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatal(msg)
+	}
+}

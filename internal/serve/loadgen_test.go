@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRunLoadRejectsBadConfig(t *testing.T) {
+	bad := []LoadConfig{
+		{},
+		{Clients: 1, StateDim: testStateDim, Duration: time.Second, Mode: "udp"},
+		{Clients: 0, StateDim: testStateDim, Duration: time.Second, Mode: "http"},
+		{Clients: 1, StateDim: 0, Duration: time.Second, Mode: "http"},
+		{Clients: 1, StateDim: testStateDim, Duration: 0, Mode: "http"},
+	}
+	for _, cfg := range bad {
+		if _, err := RunLoad(cfg); err == nil {
+			t.Errorf("RunLoad(%+v) accepted a bad config", cfg)
+		}
+	}
+}
+
+// TestRunLoadModes drives the generator briefly against a live server in both
+// modes, on both engines: every decision must succeed and be counted.
+func TestRunLoadModes(t *testing.T) {
+	srv := newDualEngineServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, mode := range []string{"http", "session"} {
+		for _, model := range []string{"", "fast"} {
+			res, err := RunLoad(LoadConfig{
+				BaseURL:  ts.URL,
+				Model:    model,
+				Mode:     mode,
+				Clients:  2,
+				Duration: 150 * time.Millisecond,
+				StateDim: testStateDim,
+				Seed:     5,
+			})
+			if err != nil {
+				t.Fatalf("mode %q model %q: %v", mode, model, err)
+			}
+			if res.Errors != 0 {
+				t.Errorf("mode %q model %q: %d client errors", mode, model, res.Errors)
+			}
+			if res.Decisions == 0 {
+				t.Errorf("mode %q model %q: no decisions served", mode, model)
+			}
+			if res.PerSec() <= 0 {
+				t.Errorf("mode %q model %q: PerSec() = %v with %d decisions", mode, model, res.PerSec(), res.Decisions)
+			}
+		}
+	}
+	if (LoadResult{}).PerSec() != 0 {
+		t.Error("zero-valued LoadResult should report 0 decisions/s")
+	}
+}
+
+// TestRunLoadReportsClientErrors points the generator at a model the server
+// does not have: clients must fail and be counted, not hang or panic.
+func TestRunLoadReportsClientErrors(t *testing.T) {
+	srv := newDualEngineServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, err := RunLoad(LoadConfig{
+		BaseURL:  ts.URL,
+		Model:    "nonesuch",
+		Mode:     "http",
+		Clients:  2,
+		Duration: 100 * time.Millisecond,
+		StateDim: testStateDim,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Error("unknown model produced no client errors")
+	}
+	if res.Decisions != 0 {
+		t.Errorf("unknown model served %d decisions", res.Decisions)
+	}
+}
+
+func TestServerReloadAll(t *testing.T) {
+	srv := newDualEngineServer(t)
+	before := srv.Registry().Lookup("fast").Reloads()
+	if err := srv.ReloadAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range srv.Registry().Names() {
+		m := srv.Registry().Lookup(name)
+		if m.Reloads() != before+1 {
+			t.Errorf("model %q reloads = %d, want %d", name, m.Reloads(), before+1)
+		}
+	}
+}

@@ -24,6 +24,14 @@ go test -race -count=1 -run 'TestSnapshot' ./internal/rl
 go test -race -count=1 ./internal/serve
 go test -race -count=1 ./cmd/ctjam-serve
 
+# The float32 fast path must agree with the exact engine on every machine,
+# including ones without AVX/FMA: run the inference packages with the asm
+# kernels compiled out (noasm) so the pure-Go fallbacks stay proven, and the
+# dual-engine equivalence suite under -race since fast snapshots serve many
+# goroutines from one immutable quantization.
+go test -count=1 -tags noasm ./internal/nn ./internal/rl ./internal/policy
+go test -race -count=1 -run 'TestForwardBatch32|TestSnapshotFast32|TestEngine' ./internal/nn ./internal/rl ./internal/policy
+
 # The sweep-point cache shares memoized counters and trained schemes across
 # concurrent experiment runs; its claim/wait protocol must stay race-clean
 # and bit-identical to uncached serial runs.
@@ -51,6 +59,7 @@ FUZZTIME="${CHECK_FUZZTIME:-5s}"
 go test -run '^$' -fuzz FuzzZigbeeFrameDecode -fuzztime "$FUZZTIME" ./internal/phy/zigbee
 go test -run '^$' -fuzz FuzzWifiPPDUDecode -fuzztime "$FUZZTIME" ./internal/phy/wifi
 go test -run '^$' -fuzz FuzzCheckpointLoad -fuzztime "$FUZZTIME" ./internal/rl
+go test -run '^$' -fuzz FuzzForwardBatchEngines -fuzztime "$FUZZTIME" ./internal/nn
 
 # Coverage floor: the signal-processing and learner packages back every
 # experiment, and the experiment harness and policy engine back every
@@ -66,4 +75,22 @@ go test -cover ./internal/phy/... ./internal/rl ./internal/experiments ./interna
 		}
 	}
 	END { if (bad) { print "coverage gate failed (test failure or below 70% floor)"; exit 1 } }
+'
+
+# Higher floors for the inference hot path: internal/nn carries the asm
+# kernels and their equivalence harness (>=80%), internal/serve the
+# production decision surface (>=75%).
+go test -cover ./internal/nn ./internal/serve | awk '
+	{ print }
+	/^(FAIL|---)/ { bad = 1 }
+	/coverage:/ {
+		floor = 75
+		if ($2 ~ /internal\/nn$/) floor = 80
+		for (i = 1; i < NF; i++) if ($i == "coverage:") {
+			p = $(i + 1)
+			sub(/%/, "", p)
+			if (p + 0 < floor) bad = 1
+		}
+	}
+	END { if (bad) { print "coverage gate failed (nn below 80% or serve below 75%)"; exit 1 } }
 '

@@ -36,7 +36,8 @@ promote() {
 promote internal/phy/zigbee FuzzZigbeeFrameDecode
 promote internal/phy/wifi FuzzWifiPPDUDecode
 promote internal/rl FuzzCheckpointLoad
+promote internal/nn FuzzForwardBatchEngines
 
 # Replay the (possibly grown) corpora: a promoted input that fails belongs
 # in a bug report, not in the committed corpus.
-go test -count=1 ./internal/phy/zigbee ./internal/phy/wifi ./internal/rl
+go test -count=1 ./internal/phy/zigbee ./internal/phy/wifi ./internal/rl ./internal/nn
