@@ -256,6 +256,8 @@ func run(args []string) error {
 		cs := opts.Cache.Stats()
 		fmt.Fprintf(os.Stderr, "sweep-point cache: %d unique points computed, %d reused, %d schemes trained\n",
 			cs.PointMisses, cs.PointHits, cs.Schemes)
+		fmt.Fprintf(os.Stderr, "field-run cache: %d unique field runs computed, %d reused\n",
+			cs.FieldMisses, cs.FieldHits)
 	}
 	return nil
 }

@@ -1,11 +1,15 @@
 // Command ctjam-field runs the discrete-event testbed simulator: a star
 // ZigBee network (hub + peripherals) defending against a cross-technology
 // jammer, reporting goodput and slot utilization per scheme (Fig. 11a).
+// With -clusters > 1 it runs the sharded multi-cluster field engine
+// instead, scaling the same slot machinery to large node counts.
 //
 // Usage:
 //
 //	ctjam-field [-slots 400] [-slot-duration 3s] [-jam-slot 3s]
 //	            [-nodes 3] [-mode max|random] [-seed 1]
+//	            [-clusters 1] [-nodes-per-cluster 0] [-workers 0]
+//	            [-cpuprofile f] [-memprofile f] [-trace f]
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"time"
 
 	"ctjam"
+	"ctjam/internal/prof"
 )
 
 func main() {
@@ -24,7 +29,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("ctjam-field", flag.ContinueOnError)
 	var (
 		slots    = fs.Int("slots", 400, "Tx slots to simulate")
@@ -35,6 +40,14 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		useDQN   = fs.Bool("dqn", false, "use a trained DQN instead of the exact MDP policy")
 		dqnSlots = fs.Int("dqn-train", 30000, "DQN training slots when -dqn is set")
+
+		clusters = fs.Int("clusters", 1, "hopping clusters (>1 runs the sharded field engine)")
+		perClus  = fs.Int("nodes-per-cluster", 0, "peripherals per cluster (default: -nodes)")
+		workers  = fs.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS)")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		tracePath  = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,7 +59,6 @@ func run(args []string) error {
 
 	var (
 		policy *ctjam.Policy
-		err    error
 		rl     = ctjam.SchemeMDP
 	)
 	if *useDQN {
@@ -58,6 +70,29 @@ func run(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+
+	// Profile only the simulation itself, not policy construction: the hot
+	// loops of interest are the slot engine, not MDP solving / DQN training.
+	sess, err := prof.Start(*cpuprofile, *memprofile, *tracePath)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if serr := sess.Stop(); serr != nil && err == nil {
+			err = serr
+		}
+	}()
+
+	if *clusters > 1 {
+		return runScale(cfg, rl, policy, scaleOptions{
+			clusters: *clusters,
+			nodes:    orDefault(*perClus, *nodes),
+			slotDur:  *slotDur,
+			jamSlot:  *jamSlot,
+			slots:    *slots,
+			workers:  *workers,
+		})
 	}
 
 	results, err := ctjam.FieldCompare(cfg,
@@ -82,5 +117,48 @@ func run(args []string) error {
 			100*r.ST, 100*r.Utilization)
 	}
 	fmt.Println("paper (Fig. 11a): PSV 216 (37.6%), Rand 311 (54.1%), RL 431 (78.5%), w/o Jx 575")
+	return nil
+}
+
+type scaleOptions struct {
+	clusters int
+	nodes    int
+	slotDur  time.Duration
+	jamSlot  time.Duration
+	slots    int
+	workers  int
+}
+
+func orDefault(v, fallback int) int {
+	if v > 0 {
+		return v
+	}
+	return fallback
+}
+
+// runScale compares the schemes on the sharded multi-cluster engine: every
+// cluster is a full hopping network with its own decorrelated jammer stream,
+// executed across the worker pool.
+func runScale(cfg ctjam.Config, rl ctjam.Scheme, policy *ctjam.Policy, o scaleOptions) error {
+	schemes := []ctjam.Scheme{ctjam.SchemePassive, ctjam.SchemeRandom, rl}
+	fmt.Printf("field engine: %d clusters x %d nodes, %d slots\n", o.clusters, o.nodes, o.slots)
+	fmt.Printf("%-10s %8s %18s %16s %8s %10s\n",
+		"scheme", "nodes", "field pkt/slot", "per-cluster", "ST%", "util%")
+	for _, s := range schemes {
+		r, err := ctjam.FieldScale(cfg, s, policy, ctjam.FieldScaleOptions{
+			Clusters:        o.clusters,
+			NodesPerCluster: o.nodes,
+			SlotDuration:    o.slotDur,
+			JammerSlot:      o.jamSlot,
+			Slots:           o.slots,
+			Workers:         o.workers,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %8d %18.0f %16.1f %8.1f %10.2f\n",
+			r.Scheme, r.Nodes, r.GoodputPktsPerSlot, r.PerClusterGoodput,
+			100*r.ST, 100*r.Utilization)
+	}
 	return nil
 }

@@ -1,10 +1,33 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSmoke(t *testing.T) {
 	if err := run([]string{"-slots", "30", "-slot-duration", "1s"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunScaleSmoke(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	err := run([]string{
+		"-slots", "20", "-slot-duration", "1s",
+		"-clusters", "4", "-nodes-per-cluster", "2", "-workers", "2",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
 	}
 }
 

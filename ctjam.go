@@ -11,7 +11,8 @@
 //   - TrainDQN trains the paper's DQN scheme and returns a persistable
 //     policy.
 //   - FieldCompare runs the discrete-event testbed simulator (goodput per
-//     scheme, Fig. 11a).
+//     scheme, Fig. 11a); FieldScale runs the sharded multi-cluster engine
+//     for large fields.
 //   - EmulateZigBee builds an "EmuBee" waveform: a Wi-Fi-transmittable
 //     emulation of a ZigBee signal (Fig. 1-2).
 //   - RunExperiment / RunExperiments regenerate the paper's figures/tables
@@ -678,6 +679,140 @@ func FieldCompare(cfg Config, schemes []Scheme, policy *Policy, opts FieldOption
 		})
 	}
 	return out, nil
+}
+
+// FieldScaleOptions tune a sharded multi-cluster field run.
+type FieldScaleOptions struct {
+	// Clusters is the number of independent hopping clusters (default 1).
+	// Each cluster is a full star network with its own channel, hopping
+	// agent and decorrelated jammer stream.
+	Clusters int
+	// NodesPerCluster is each cluster's peripheral count (default 3).
+	NodesPerCluster int
+	// SlotDuration is the Tx slot length (default 3 s).
+	SlotDuration time.Duration
+	// JammerSlot is the jammer's slot length (default = SlotDuration).
+	JammerSlot time.Duration
+	// Slots is the number of Tx slots to simulate (default 400).
+	Slots int
+	// Workers bounds the goroutines sharding the clusters (0 means
+	// GOMAXPROCS). Results are bit-identical at any worker count.
+	Workers int
+	// UseCSMA enables the full CSMA/CA contention model instead of the
+	// calibrated fixed LBT cost.
+	UseCSMA bool
+}
+
+// FieldScaleResult reports one sharded-engine field run.
+type FieldScaleResult struct {
+	Scheme Scheme
+	// Clusters and Nodes describe the simulated field (Nodes is the total
+	// peripheral count across all clusters).
+	Clusters int
+	Nodes    int
+	// Slots is the Tx slot count each cluster executed.
+	Slots int
+	// GoodputPktsPerSlot is the field-wide goodput: packets delivered per
+	// Tx slot, summed over clusters.
+	GoodputPktsPerSlot float64
+	// PerClusterGoodput is GoodputPktsPerSlot / Clusters.
+	PerClusterGoodput float64
+	// Utilization is the cluster-averaged mean slot utilization.
+	Utilization float64
+	// ST is the field-wide slot-level success rate.
+	ST float64
+}
+
+// fieldScaleAgents returns a factory yielding one fresh agent per cluster.
+// The baselines construct from scratch; policy-backed schemes replicate the
+// shared immutable policy through per-cluster encoders (policy.Scheme), so
+// clusters never share mutable agent state.
+func fieldScaleAgents(scheme Scheme, policy *Policy, ecfg env.Config) (func(int) (env.Agent, error), error) {
+	switch scheme {
+	case SchemePassive, SchemeRandom, SchemeStatic:
+		return func(int) (env.Agent, error) { return agentFor(scheme, policy, ecfg) }, nil
+	case SchemeRL, SchemeMDP, SchemeQLearning:
+		if policy == nil {
+			return nil, fmt.Errorf("ctjam: scheme %q needs a policy (TrainDQN, SolveMDP or TrainQLearning)", scheme)
+		}
+		var sch *pol.Scheme
+		switch a := policy.agent.(type) {
+		case interface{ Scheme() *pol.Scheme }:
+			sch = a.Scheme()
+		case interface{ Scheme() (*pol.Scheme, error) }:
+			var err error
+			if sch, err = a.Scheme(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("ctjam: scheme %q cannot be replicated across clusters", scheme)
+		}
+		return func(int) (env.Agent, error) { return sch.NewAgent(), nil }, nil
+	default:
+		return nil, fmt.Errorf("ctjam: unknown scheme %q", scheme)
+	}
+}
+
+// FieldScale runs one scheme through the sharded field engine: Clusters
+// independent hopping clusters, each a full star network with its own
+// deterministic RNG and fault streams, executed across Workers goroutines.
+// Results are a pure function of (cfg, scheme, opts) — bit-identical at any
+// worker count — and a 1-cluster run matches FieldCompare's simulator
+// exactly.
+func FieldScale(cfg Config, scheme Scheme, policy *Policy, opts FieldScaleOptions) (*FieldScaleResult, error) {
+	ecfg, err := cfg.internal()
+	if err != nil {
+		return nil, err
+	}
+	icfg := iot.DefaultConfig()
+	icfg.Channels = ecfg.Channels
+	icfg.SweepWidth = ecfg.SweepWidth
+	icfg.TxPowers = ecfg.TxPowers
+	icfg.JamPowers = ecfg.JamPowers
+	icfg.JammerMode = ecfg.JammerMode
+	icfg.Seed = cfg.Seed
+	icfg.Faults = ecfg.Faults
+	if opts.NodesPerCluster > 0 {
+		icfg.Nodes = opts.NodesPerCluster
+	}
+	if opts.SlotDuration > 0 {
+		icfg.SlotDuration = opts.SlotDuration
+		icfg.JammerSlot = opts.SlotDuration
+	}
+	if opts.JammerSlot > 0 {
+		icfg.JammerSlot = opts.JammerSlot
+	}
+	icfg.UseCSMA = opts.UseCSMA
+	clusters := opts.Clusters
+	if clusters <= 0 {
+		clusters = 1
+	}
+	slots := opts.Slots
+	if slots <= 0 {
+		slots = 400
+	}
+	newAgent, err := fieldScaleAgents(scheme, policy, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := iot.NewEngine(iot.EngineConfig{Clusters: clusters, Template: icfg, Workers: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	st, err := eng.Run(newAgent, slots)
+	if err != nil {
+		return nil, fmt.Errorf("ctjam: field scale run %q: %w", scheme, err)
+	}
+	return &FieldScaleResult{
+		Scheme:             scheme,
+		Clusters:           st.Clusters,
+		Nodes:              st.Nodes,
+		Slots:              st.Slots,
+		GoodputPktsPerSlot: st.GoodputPktsPerSlot,
+		PerClusterGoodput:  st.GoodputPktsPerSlot / float64(st.Clusters),
+		Utilization:        st.MeanUtilization,
+		ST:                 st.Counters.ST(),
+	}, nil
 }
 
 // Emulation is the outcome of building an EmuBee waveform.

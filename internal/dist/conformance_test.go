@@ -28,7 +28,8 @@ func testOptions() experiments.Options {
 }
 
 // cacheBackedIDs filters the registry down to the experiments whose compute
-// is distributable — the 20 Figs. 6-8 metric panels plus Table I.
+// is distributable — the 20 Figs. 6-8 metric panels plus Table I (sweep
+// points), and the fig10/fig11/scale panels (field replica units).
 func cacheBackedIDs(t *testing.T, o experiments.Options) []string {
 	t.Helper()
 	var ids []string
@@ -41,8 +42,8 @@ func cacheBackedIDs(t *testing.T, o experiments.Options) []string {
 			ids = append(ids, id)
 		}
 	}
-	if len(ids) != 21 {
-		t.Fatalf("expected 21 cache-backed experiments, got %d: %v", len(ids), ids)
+	if len(ids) != 26 {
+		t.Fatalf("expected 26 cache-backed experiments, got %d: %v", len(ids), ids)
 	}
 	return ids
 }
@@ -113,6 +114,9 @@ func TestDistributedSerialEquivalence(t *testing.T) {
 			st := merged.Cache.Stats()
 			if st.PointMisses != 0 {
 				t.Errorf("merged run recomputed %d points; want pure cache hits", st.PointMisses)
+			}
+			if st.FieldMisses != 0 {
+				t.Errorf("merged run recomputed %d field runs; want pure cache hits", st.FieldMisses)
 			}
 		})
 	}

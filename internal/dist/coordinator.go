@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"ctjam/internal/experiments"
-	"ctjam/internal/metrics"
 )
 
 // CoordinatorOptions tune the failure model of the work-unit protocol.
@@ -47,14 +46,15 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	return o
 }
 
-// unitState tracks one unit through the lease protocol.
+// unitState tracks one unit through the lease protocol. result holds the
+// completed payload — Counters for sweep points, Field for field replicas.
 type unitState struct {
 	unit       Unit
 	done       bool
 	leaseUntil time.Time
 	attempts   int
 	lastErr    string
-	counters   metrics.Counters
+	result     UnitResult
 }
 
 // Coordinator owns the work-unit ledger of one distributed run: it hands out
@@ -202,8 +202,18 @@ func (c *Coordinator) record(results []UnitResult) resultResponse {
 			}
 			continue
 		}
+		if st.unit.Field != nil && r.Field == nil {
+			// A field unit must come back with field stats; treat the
+			// malformed report like a failed attempt.
+			st.lastErr = "dist: field unit result missing field stats"
+			st.leaseUntil = time.Time{}
+			if st.attempts >= c.opts.MaxAttempts {
+				c.fail(fmt.Errorf("dist: unit %s failed after %d attempts: %s", r.Key, st.attempts, st.lastErr))
+			}
+			continue
+		}
 		st.done = true
-		st.counters = r.Counters
+		st.result = r
 		c.remaining--
 	}
 	if c.remaining == 0 && c.err == nil {
@@ -282,19 +292,25 @@ func (c *Coordinator) Wait(ctx context.Context) error {
 	}
 }
 
-// ImportInto feeds every completed unit's Counters into cache under its
-// canonical key, after which experiment runs sharing that cache read the
-// distributed points instead of recomputing them. Call after Wait succeeds.
+// ImportInto feeds every completed unit's result into cache under its
+// canonical key — Counters into the point cache, field stats into the
+// field-run cache — after which experiment runs sharing that cache read the
+// distributed results instead of recomputing them. Call after Wait succeeds.
 func (c *Coordinator) ImportInto(cache *experiments.Cache) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
 	for _, k := range c.order {
 		st := c.states[k]
-		if st.done {
-			cache.ImportPoint(k, st.counters)
-			n++
+		if !st.done {
+			continue
 		}
+		if st.result.Field != nil {
+			cache.ImportFieldRun(k, st.result.Field.runStats())
+		} else {
+			cache.ImportPoint(k, st.result.Counters)
+		}
+		n++
 	}
 	return n
 }

@@ -14,6 +14,7 @@ import (
 	"ctjam/internal/env"
 	"ctjam/internal/experiments"
 	"ctjam/internal/fault"
+	"ctjam/internal/iot"
 	"ctjam/internal/metrics"
 )
 
@@ -239,5 +240,86 @@ func TestWorkerContextCancel(t *testing.T) {
 	w := NewWorker(srv.URL, WorkerOptions{PollInterval: time.Millisecond})
 	if _, err := w.Run(ctx); err == nil {
 		t.Error("cancelled worker returned nil error")
+	}
+}
+
+func TestWireFieldSpecRoundTrip(t *testing.T) {
+	spec := experiments.FieldSpec{
+		Scheme:       experiments.FieldSchemeRand,
+		Jammer:       true,
+		Clusters:     8,
+		Nodes:        5,
+		SlotDuration: 500 * time.Millisecond,
+		JammerSlot:   250 * time.Millisecond,
+		Seed:         7,
+		Slots:        100,
+	}
+	got, err := wireFieldSpec(spec).fieldSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Errorf("round trip drifted:\ngot  %+v\nwant %+v", got, spec)
+	}
+	bad := wireFieldSpec(spec)
+	bad.Scheme = "no-such-scheme"
+	if _, err := bad.fieldSpec(); err == nil {
+		t.Error("invalid wire field spec decoded without error")
+	}
+}
+
+func TestWireRunStatsRoundTrip(t *testing.T) {
+	run := iot.RunStats{
+		Slots:              100,
+		Attempted:          4000,
+		Delivered:          3500,
+		FrameLosses:        12,
+		GoodputPktsPerSlot: 35,
+		MeanUtilization:    0.91,
+		MeanOverhead:       48 * time.Millisecond,
+		Counters:           metrics.Counters{Slots: 100, Successes: 80, JamLosses: 20},
+	}
+	if got := wireRunStats(run).runStats(); !reflect.DeepEqual(got, run) {
+		t.Errorf("round trip drifted:\ngot  %+v\nwant %+v", got, run)
+	}
+}
+
+func TestEvaluateFieldKeyMismatch(t *testing.T) {
+	o := testOptions()
+	units, err := UnitsFor(o, []string{"fig10a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) == 0 {
+		t.Fatal("fig10a yielded no field units")
+	}
+	units[0].Key = "fd|tampered"
+	results := evaluate(context.Background(), units[:1], experiments.NewCache(), 1)
+	if !strings.Contains(results[0].Err, "key mismatch") {
+		t.Errorf("tampered field unit: Err = %q, want key mismatch", results[0].Err)
+	}
+}
+
+// TestCoordinatorRejectsFieldResultWithoutStats checks a field unit reported
+// "successfully" but with no RunStats payload counts as a failed attempt, not
+// a completed unit.
+func TestCoordinatorRejectsFieldResultWithoutStats(t *testing.T) {
+	coord, err := NewCoordinator(testOptions(), []string{"scale"}, CoordinatorOptions{
+		MaxAttempts: 1,
+		Linger:      time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poll := coord.assign(1)
+	if len(poll.Units) != 1 || poll.Units[0].Field == nil {
+		t.Fatalf("expected one field unit, got %+v", poll.Units)
+	}
+	coord.record([]UnitResult{{Key: poll.Units[0].Key}}) // no Field payload
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	err = coord.Wait(ctx)
+	if err == nil || !strings.Contains(err.Error(), "missing field stats") {
+		t.Errorf("Wait = %v, want missing-field-stats failure", err)
 	}
 }

@@ -1,12 +1,14 @@
-// Package dist shards the cache-backed sweep points of the experiment
-// harness across processes: a coordinator enumerates the unique points of a
-// set of experiment ids (experiments.CachePoints), serves them as work units
-// over a small HTTP/JSON protocol, and merges the returned Counters back
-// into an experiments.Cache, after which the experiments themselves run
-// entirely from cache — producing output bit-identical to a single-process
-// run. A static, networkless mode (RunShard / MergeSpools) partitions the
-// same sorted unit list round-robin across shard indices and exchanges
-// results through atomically written spool files instead of sockets.
+// Package dist shards the cache-backed compute of the experiment harness
+// across processes: a coordinator enumerates the unique work units of a set
+// of experiment ids — sweep points (experiments.CachePoints) and whole
+// field-simulator replica runs (experiments.CacheFieldSpecs) — serves them
+// over a small HTTP/JSON protocol, and merges the returned Counters and
+// RunStats back into an experiments.Cache, after which the experiments
+// themselves run entirely from cache — producing output bit-identical to a
+// single-process run. A static, networkless mode (RunShard / MergeSpools)
+// partitions the same sorted unit list round-robin across shard indices and
+// exchanges results through atomically written spool files instead of
+// sockets.
 //
 // Correctness rests on two properties the rest of the repo already
 // guarantees. First, every point result is a pure function of its canonical
@@ -25,10 +27,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
+	"time"
 
 	"ctjam/internal/env"
 	"ctjam/internal/experiments"
 	"ctjam/internal/fault"
+	"ctjam/internal/iot"
 	"ctjam/internal/jammer"
 	"ctjam/internal/metrics"
 )
@@ -128,49 +133,152 @@ func (w WireOptions) options(ctx context.Context, cache *experiments.Cache, work
 	}
 }
 
-// Unit is one distributable sweep point: the (options, config) pair that
-// determines its Counters, plus the coordinator's canonical key for it.
-type Unit struct {
-	Key    string      `json:"key"`
-	Opts   WireOptions `json:"opts"`
-	Config WireConfig  `json:"config"`
+// WireFieldSpec is the JSON form of experiments.FieldSpec: one whole
+// field-simulator run (possibly a multi-cluster engine replica) as a
+// distributable unit. Durations travel as nanoseconds.
+type WireFieldSpec struct {
+	Scheme       string `json:"scheme"`
+	Jammer       bool   `json:"jammer"`
+	Clusters     int    `json:"clusters"`
+	Nodes        int    `json:"nodes"`
+	SlotDuration int64  `json:"slot_duration_ns"`
+	JammerSlot   int64  `json:"jammer_slot_ns"`
+	Seed         int64  `json:"seed"`
+	Slots        int    `json:"slots"`
 }
 
-// UnitResult reports one evaluated unit: its Counters, or the error that
-// kept a worker from producing them.
+// wireFieldSpec converts an experiments.FieldSpec for the wire.
+func wireFieldSpec(s experiments.FieldSpec) WireFieldSpec {
+	return WireFieldSpec{
+		Scheme:       s.Scheme,
+		Jammer:       s.Jammer,
+		Clusters:     s.Clusters,
+		Nodes:        s.Nodes,
+		SlotDuration: int64(s.SlotDuration),
+		JammerSlot:   int64(s.JammerSlot),
+		Seed:         s.Seed,
+		Slots:        s.Slots,
+	}
+}
+
+// fieldSpec rebuilds the experiments.FieldSpec a WireFieldSpec describes.
+func (s WireFieldSpec) fieldSpec() (experiments.FieldSpec, error) {
+	spec := experiments.FieldSpec{
+		Scheme:       s.Scheme,
+		Jammer:       s.Jammer,
+		Clusters:     s.Clusters,
+		Nodes:        s.Nodes,
+		SlotDuration: time.Duration(s.SlotDuration),
+		JammerSlot:   time.Duration(s.JammerSlot),
+		Seed:         s.Seed,
+		Slots:        s.Slots,
+	}
+	if err := spec.Validate(); err != nil {
+		return experiments.FieldSpec{}, fmt.Errorf("dist: wire field spec invalid: %w", err)
+	}
+	return spec, nil
+}
+
+// WireRunStats is the JSON form of iot.RunStats, the result payload of a
+// field unit. MeanOverhead travels as nanoseconds.
+type WireRunStats struct {
+	Slots              int              `json:"slots"`
+	Attempted          int              `json:"attempted"`
+	Delivered          int              `json:"delivered"`
+	FrameLosses        int              `json:"frame_losses,omitempty"`
+	GoodputPktsPerSlot float64          `json:"goodput_pkts_per_slot"`
+	MeanUtilization    float64          `json:"mean_utilization"`
+	MeanOverhead       int64            `json:"mean_overhead_ns"`
+	Counters           metrics.Counters `json:"counters"`
+}
+
+// wireRunStats converts an iot.RunStats for the wire.
+func wireRunStats(r iot.RunStats) WireRunStats {
+	return WireRunStats{
+		Slots:              r.Slots,
+		Attempted:          r.Attempted,
+		Delivered:          r.Delivered,
+		FrameLosses:        r.FrameLosses,
+		GoodputPktsPerSlot: r.GoodputPktsPerSlot,
+		MeanUtilization:    r.MeanUtilization,
+		MeanOverhead:       int64(r.MeanOverhead),
+		Counters:           r.Counters,
+	}
+}
+
+// runStats rebuilds the iot.RunStats a WireRunStats describes.
+func (r WireRunStats) runStats() iot.RunStats {
+	return iot.RunStats{
+		Slots:              r.Slots,
+		Attempted:          r.Attempted,
+		Delivered:          r.Delivered,
+		FrameLosses:        r.FrameLosses,
+		GoodputPktsPerSlot: r.GoodputPktsPerSlot,
+		MeanUtilization:    r.MeanUtilization,
+		MeanOverhead:       time.Duration(r.MeanOverhead),
+		Counters:           r.Counters,
+	}
+}
+
+// Unit is one distributable work item: either a sweep point (Config set) or
+// a whole field-simulator replica run (Field set), plus the options pinning
+// its cache key and the coordinator's canonical key for it. Exactly one of
+// Config/Field is meaningful; field units are recognizable by Field != nil.
+type Unit struct {
+	Key    string         `json:"key"`
+	Opts   WireOptions    `json:"opts"`
+	Config WireConfig     `json:"config,omitempty"`
+	Field  *WireFieldSpec `json:"field,omitempty"`
+}
+
+// UnitResult reports one evaluated unit: its Counters (sweep points) or its
+// RunStats (field units), or the error that kept a worker from producing
+// them.
 type UnitResult struct {
 	Key      string           `json:"key"`
 	Counters metrics.Counters `json:"counters"`
+	Field    *WireRunStats    `json:"field,omitempty"`
 	Err      string           `json:"err,omitempty"`
 }
 
 // UnitsFor enumerates the distributable work units of the given experiment
-// ids under o, sorted by key — the shared, deterministic work list every
-// coordinator and shard derives identically from identical inputs.
+// ids under o — the cache-backed sweep points plus the field-simulator
+// replica runs — sorted by key: the shared, deterministic work list every
+// coordinator and shard derives identically from identical inputs. The
+// "pt|" / "fd|" key prefixes keep the two unit kinds from ever colliding.
 func UnitsFor(o experiments.Options, ids []string) ([]Unit, error) {
 	specs, err := experiments.CachePoints(o, ids)
 	if err != nil {
 		return nil, err
 	}
+	fields, err := experiments.CacheFieldSpecs(o, ids)
+	if err != nil {
+		return nil, err
+	}
 	wo := wireOptions(o)
-	units := make([]Unit, len(specs))
-	for i, sp := range specs {
+	units := make([]Unit, 0, len(specs)+len(fields))
+	for _, sp := range specs {
 		wc, err := wireConfig(sp.Config)
 		if err != nil {
 			return nil, err
 		}
-		units[i] = Unit{Key: sp.Key, Opts: wo, Config: wc}
+		units = append(units, Unit{Key: sp.Key, Opts: wo, Config: wc})
 	}
+	for _, fs := range fields {
+		ws := wireFieldSpec(fs.Spec)
+		units = append(units, Unit{Key: fs.Key, Opts: wo, Field: &ws})
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].Key < units[j].Key })
 	return units, nil
 }
 
-// evaluate computes every unit's Counters against the local cache, grouping
-// units that share WireOptions into one EvaluatePoints call so sibling
-// points of a shared scheme evaluate in lockstep through the batched
-// inference engine. Each unit's key is recomputed from the decoded payload
-// first; a mismatch (or any evaluation error) is reported per unit rather
-// than failing the batch silently. The returned slice is index-aligned with
-// units.
+// evaluate computes every unit's result against the local cache, grouping
+// units that share WireOptions into one EvaluatePoints / EvaluateFieldSpecs
+// call so sibling points of a shared scheme evaluate in lockstep through the
+// batched inference engine (and field runs fan out together). Each unit's
+// key is recomputed from the decoded payload first; a mismatch (or any
+// evaluation error) is reported per unit rather than failing the batch
+// silently. The returned slice is index-aligned with units.
 func evaluate(ctx context.Context, units []Unit, cache *experiments.Cache, workers int) []UnitResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -194,8 +302,24 @@ func evaluate(ctx context.Context, units []Unit, cache *experiments.Cache, worke
 		idxs := groups[wo]
 		o := wo.options(ctx, cache, workers)
 		cfgs := make([]env.Config, 0, len(idxs))
-		ok := idxs[:0:0]
+		specs := make([]experiments.FieldSpec, 0, len(idxs))
+		okPts := idxs[:0:0]
+		okFds := idxs[:0:0]
 		for _, i := range idxs {
+			if f := units[i].Field; f != nil {
+				spec, err := f.fieldSpec()
+				if err != nil {
+					out[i].Err = err.Error()
+					continue
+				}
+				if got := experiments.FieldKey(o, spec); got != units[i].Key {
+					out[i].Err = fmt.Sprintf("dist: key mismatch: coordinator sent %q, worker derives %q", units[i].Key, got)
+					continue
+				}
+				okFds = append(okFds, i)
+				specs = append(specs, spec)
+				continue
+			}
 			cfg, err := units[i].Config.envConfig()
 			if err != nil {
 				out[i].Err = err.Error()
@@ -205,21 +329,33 @@ func evaluate(ctx context.Context, units []Unit, cache *experiments.Cache, worke
 				out[i].Err = fmt.Sprintf("dist: key mismatch: coordinator sent %q, worker derives %q", units[i].Key, got)
 				continue
 			}
-			ok = append(ok, i)
+			okPts = append(okPts, i)
 			cfgs = append(cfgs, cfg)
 		}
-		if len(ok) == 0 {
-			continue
-		}
-		counters, err := experiments.EvaluatePoints(o, cfgs)
-		if err != nil {
-			for _, i := range ok {
-				out[i].Err = err.Error()
+		if len(okPts) > 0 {
+			counters, err := experiments.EvaluatePoints(o, cfgs)
+			if err != nil {
+				for _, i := range okPts {
+					out[i].Err = err.Error()
+				}
+			} else {
+				for j, i := range okPts {
+					out[i].Counters = counters[j]
+				}
 			}
-			continue
 		}
-		for j, i := range ok {
-			out[i].Counters = counters[j]
+		if len(okFds) > 0 {
+			runs, err := experiments.EvaluateFieldSpecs(o, specs)
+			if err != nil {
+				for _, i := range okFds {
+					out[i].Err = err.Error()
+				}
+			} else {
+				for j, i := range okFds {
+					wr := wireRunStats(runs[j])
+					out[i].Field = &wr
+				}
+			}
 		}
 	}
 	return out

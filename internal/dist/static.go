@@ -121,7 +121,11 @@ func MergeSpools(dir string, cache *experiments.Cache, units []Unit) (int, error
 				return 0, fmt.Errorf("dist: %s: unit %s already imported from another shard", path, r.Key)
 			}
 			imported[r.Key] = true
-			cache.ImportPoint(r.Key, r.Counters)
+			if r.Field != nil {
+				cache.ImportFieldRun(r.Key, r.Field.runStats())
+			} else {
+				cache.ImportPoint(r.Key, r.Counters)
+			}
 		}
 	}
 	if len(seen) != shards {

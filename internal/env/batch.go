@@ -24,6 +24,59 @@ type BatchAgent interface {
 	DecideBatch(prev []SlotInfo, out []Decision) error
 }
 
+// agentBatch adapts K independent per-link Agents to the BatchAgent
+// interface by looping. It exists so lockstep drivers (env.BatchRun,
+// iot.BatchRun, the field engine's cluster scheduler) can mix schemes whose
+// policies have no stacked-inference implementation — each cluster keeps its
+// own mutable agent, and the batch call is just the slot-boundary barrier.
+type agentBatch struct {
+	agents []Agent
+}
+
+// NewAgentBatch wraps independent agents (one per link/cluster) as a
+// BatchAgent. Decisions are computed link-by-link in index order, so results
+// are identical to driving each agent serially.
+func NewAgentBatch(agents []Agent) (BatchAgent, error) {
+	if len(agents) == 0 {
+		return nil, fmt.Errorf("env: agent batch needs at least one agent")
+	}
+	for i, a := range agents {
+		if a == nil {
+			return nil, fmt.Errorf("env: agent batch slot %d is nil", i)
+		}
+	}
+	return &agentBatch{agents: agents}, nil
+}
+
+// Name implements BatchAgent: the wrapped agents share one scheme name in
+// practice, so the first agent names the batch.
+func (b *agentBatch) Name() string { return b.agents[0].Name() }
+
+// Len implements BatchAgent.
+func (b *agentBatch) Len() int { return len(b.agents) }
+
+// ResetBatch implements BatchAgent.
+func (b *agentBatch) ResetBatch(rngs []*rand.Rand) error {
+	if len(rngs) != len(b.agents) {
+		return fmt.Errorf("env: agent batch sized for %d links, got %d rngs", len(b.agents), len(rngs))
+	}
+	for i, a := range b.agents {
+		a.Reset(rngs[i])
+	}
+	return nil
+}
+
+// DecideBatch implements BatchAgent.
+func (b *agentBatch) DecideBatch(prev []SlotInfo, out []Decision) error {
+	if len(prev) != len(b.agents) || len(out) != len(b.agents) {
+		return fmt.Errorf("env: agent batch sized for %d links, got %d/%d slots", len(b.agents), len(prev), len(out))
+	}
+	for i, a := range b.agents {
+		out[i] = a.Decide(prev[i])
+	}
+	return nil
+}
+
 // BatchRun steps len(envs) independent environments in lockstep through a
 // BatchAgent for the given number of slots, returning per-environment
 // Table I counters.

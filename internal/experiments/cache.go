@@ -42,9 +42,13 @@ type Cache struct {
 	mu      sync.Mutex
 	points  map[string]*pointEntry
 	schemes map[string]*schemeEntry
+	fields  map[string]*fieldEntry
 
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	fieldHits   atomic.Int64
+	fieldMisses atomic.Int64
 }
 
 // NewCache returns an empty cache, ready to be shared across experiment runs
@@ -53,6 +57,7 @@ func NewCache() *Cache {
 	return &Cache{
 		points:  make(map[string]*pointEntry),
 		schemes: make(map[string]*schemeEntry),
+		fields:  make(map[string]*fieldEntry),
 	}
 }
 
@@ -65,6 +70,10 @@ type CacheStats struct {
 	PointMisses int64
 	// Schemes counts unique trained/solved schemes held.
 	Schemes int
+	// FieldHits / FieldMisses count the same for memoized field-simulator
+	// runs (fig10/fig11/scale share their runs through this layer).
+	FieldHits   int64
+	FieldMisses int64
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -76,6 +85,8 @@ func (c *Cache) Stats() CacheStats {
 		PointHits:   c.hits.Load(),
 		PointMisses: c.misses.Load(),
 		Schemes:     schemes,
+		FieldHits:   c.fieldHits.Load(),
+		FieldMisses: c.fieldMisses.Load(),
 	}
 }
 

@@ -47,7 +47,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig7f", "fig7g", "fig7h",
 		"fig8a", "fig8b", "fig8c", "fig8d", "fig8e", "fig8f", "fig8g", "fig8h",
 		"fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b",
-		"table1", "train",
+		"table1", "train", "scale",
 	}
 	have := make(map[string]bool, len(ids))
 	for _, id := range ids {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"ctjam/internal/core"
 	"ctjam/internal/env"
 	"ctjam/internal/iot"
 	"ctjam/internal/metrics"
@@ -124,20 +123,30 @@ func runFig10a(o Options) (*Result, error) {
 	return res, nil
 }
 
-// fig10Runs executes the per-slot-duration field runs of Fig. 10 in
-// parallel; each duration builds its own seeded simulator.
-func fig10Runs(o Options) ([]iot.RunStats, error) {
-	return parallel.Map(o.Workers, len(fig10Slots), func(p int) (iot.RunStats, error) {
-		cfg := iot.DefaultConfig()
-		cfg.JammerEnabled = false
-		cfg.SlotDuration = fig10Slots[p]
-		cfg.Seed = o.Seed
-		sim, err := iot.New(cfg)
-		if err != nil {
-			return iot.RunStats{}, err
+// fig10Specs enumerates the per-slot-duration field runs of Fig. 10: an
+// unjammed static network per duration. Both fig10 panels read the same
+// runs, so sharing a cache across them evaluates each duration once.
+func fig10Specs(o Options) []FieldSpec {
+	base := iot.DefaultConfig()
+	specs := make([]FieldSpec, len(fig10Slots))
+	for i, d := range fig10Slots {
+		specs[i] = FieldSpec{
+			Scheme:       FieldSchemeStatic,
+			Jammer:       false,
+			Clusters:     1,
+			Nodes:        base.Nodes,
+			SlotDuration: d,
+			JammerSlot:   base.JammerSlot,
+			Seed:         o.Seed,
+			Slots:        o.FieldSlots,
 		}
-		return sim.Run(core.Static{}, o.FieldSlots)
-	})
+	}
+	return specs
+}
+
+// fig10Runs evaluates the Fig. 10 field runs through the shared field cache.
+func fig10Runs(o Options) ([]iot.RunStats, error) {
+	return runFieldSpecs(o, fig10Specs(o))
 }
 
 // runFig10b measures slot utilization versus Tx-slot duration (Fig. 10b).
@@ -164,10 +173,35 @@ func runFig10b(o Options) (*Result, error) {
 	return res, nil
 }
 
-// runFig11a compares the anti-jamming schemes' goodput (Fig. 11a).
+// fig11aSpecs enumerates the four scheme-comparison runs of Fig. 11a: the
+// three FH schemes under the jammer plus the static no-jammer reference.
+func fig11aSpecs(o Options) []FieldSpec {
+	base := iot.DefaultConfig()
+	mk := func(scheme string, jam bool) FieldSpec {
+		return FieldSpec{
+			Scheme:       scheme,
+			Jammer:       jam,
+			Clusters:     1,
+			Nodes:        base.Nodes,
+			SlotDuration: base.SlotDuration,
+			JammerSlot:   base.JammerSlot,
+			Seed:         o.Seed,
+			Slots:        o.FieldSlots,
+		}
+	}
+	return []FieldSpec{
+		mk(FieldSchemePSV, true),
+		mk(FieldSchemeRand, true),
+		mk(FieldSchemeRL, true),
+		mk(FieldSchemeStatic, false),
+	}
+}
+
+// runFig11a compares the anti-jamming schemes' goodput (Fig. 11a). Each
+// scheme builds its own agent and simulator (see computeFieldSpec), so the
+// four runs are independent and fan out across o.Workers goroutines through
+// the field cache.
 func runFig11a(o Options) (*Result, error) {
-	cfg := iot.DefaultConfig()
-	cfg.Seed = o.Seed
 	res := &Result{
 		Title:  "goodput by anti-jamming scheme (3 s slots, CTJ jammer)",
 		XLabel: "scheme",
@@ -176,53 +210,14 @@ func runFig11a(o Options) (*Result, error) {
 		PaperNote: "Fig. 11(a): PSV 216, Rand 311, RL 431, w/o Jx 575 pkts/slot " +
 			"(RL = 2x PSV, 1.39x Rand, 78.5% of no-jammer)",
 	}
-
-	passive, err := core.NewPassiveFH(cfg.Channels, cfg.SweepWidth)
-	if err != nil {
-		return nil, err
-	}
-	random, err := core.NewRandomFH(cfg.Channels, cfg.SweepWidth, len(cfg.TxPowers))
-	if err != nil {
-		return nil, err
-	}
-	rl, err := fieldRLAgent(o, cfg)
-	if err != nil {
-		return nil, err
-	}
-
-	type runSpec struct {
-		agent env.Agent
-		jam   bool
-	}
-	specs := []runSpec{
-		{passive, true},
-		{random, true},
-		{rl, true},
-		{core.Static{}, false},
-	}
-	// Each scheme owns its agent and builds its own simulator, so the four
-	// runs are independent and fan out across o.Workers goroutines.
-	goodputs, err := parallel.Map(o.Workers, len(specs), func(p int) (float64, error) {
-		spec := specs[p]
-		runCfg := cfg
-		runCfg.JammerEnabled = spec.jam
-		sim, err := iot.New(runCfg)
-		if err != nil {
-			return 0, err
-		}
-		run, err := sim.Run(spec.agent, o.FieldSlots)
-		if err != nil {
-			return 0, fmt.Errorf("scheme %s: %w", spec.agent.Name(), err)
-		}
-		return run.GoodputPktsPerSlot, nil
-	})
+	runs, err := runFieldSpecs(o, fig11aSpecs(o))
 	if err != nil {
 		return nil, err
 	}
 	measured := Series{Name: "goodput"}
-	for i, g := range goodputs {
+	for i, run := range runs {
 		measured.X = append(measured.X, float64(i))
-		measured.Y = append(measured.Y, g)
+		measured.Y = append(measured.Y, run.GoodputPktsPerSlot)
 	}
 	paper := Series{
 		Name: "paper",
@@ -233,10 +228,34 @@ func runFig11a(o Options) (*Result, error) {
 	return res, nil
 }
 
+// fig11bJamSecs are the jammer slot durations of Fig. 11b.
+var fig11bJamSecs = []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
+
+// fig11bSpecs enumerates the per-jammer-slot RL runs of Fig. 11b. The RL
+// agent is stateful (belief / history tracking), so every point builds its
+// own copy; construction is deterministic in o.Seed and sim.Run resets the
+// agent, keeping results identical to a shared, serially reused agent at any
+// worker count.
+func fig11bSpecs(o Options) []FieldSpec {
+	base := iot.DefaultConfig()
+	specs := make([]FieldSpec, len(fig11bJamSecs))
+	for i, sec := range fig11bJamSecs {
+		specs[i] = FieldSpec{
+			Scheme:       FieldSchemeRL,
+			Jammer:       true,
+			Clusters:     1,
+			Nodes:        base.Nodes,
+			SlotDuration: base.SlotDuration,
+			JammerSlot:   time.Duration(sec * float64(time.Second)),
+			Seed:         o.Seed,
+			Slots:        o.FieldSlots,
+		}
+	}
+	return specs
+}
+
 // runFig11b measures goodput versus the jammer's slot duration (Fig. 11b).
 func runFig11b(o Options) (*Result, error) {
-	base := iot.DefaultConfig()
-	base.Seed = o.Seed
 	res := &Result{
 		Title:  "goodput vs jammer timeslot duration (Tx slot fixed at 3 s)",
 		XLabel: "duration of Jx timeslot (s)",
@@ -244,32 +263,73 @@ func runFig11b(o Options) (*Result, error) {
 		PaperNote: "Fig. 11(b): best goodput (~421 pkts/slot) when Jx slot matches the " +
 			"3 s Tx slot; shorter Jx slots find the victim faster and hurt goodput",
 	}
-	jamSecs := []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5, 5}
-	// The RL agent is stateful (belief / history tracking), so every point
-	// builds its own copy; construction is deterministic in o.Seed and
-	// sim.Run resets the agent, keeping results identical to a shared,
-	// serially reused agent at any worker count.
-	goodputs, err := parallel.Map(o.Workers, len(jamSecs), func(p int) (float64, error) {
-		rl, err := fieldRLAgent(o, base)
-		if err != nil {
-			return 0, err
-		}
-		cfg := base
-		cfg.JammerSlot = time.Duration(jamSecs[p] * float64(time.Second))
-		sim, err := iot.New(cfg)
-		if err != nil {
-			return 0, err
-		}
-		run, err := sim.Run(rl, o.FieldSlots)
-		if err != nil {
-			return 0, err
-		}
-		return run.GoodputPktsPerSlot, nil
-	})
+	runs, err := runFieldSpecs(o, fig11bSpecs(o))
 	if err != nil {
 		return nil, err
 	}
-	s := Series{Name: "goodput", X: jamSecs, Y: goodputs}
+	goodputs := make([]float64, len(runs))
+	for i, run := range runs {
+		goodputs[i] = run.GoodputPktsPerSlot
+	}
+	s := Series{Name: "goodput", X: fig11bJamSecs, Y: goodputs}
 	res.Series = append(res.Series, s)
+	return res, nil
+}
+
+// scaleClusterCounts are the field sizes of the scale experiment, in
+// clusters of DefaultConfig().Nodes peripherals each.
+var scaleClusterCounts = []int{1, 4, 16, 64}
+
+// scaleSpecs enumerates the goodput-vs-scale runs: the random-FH scheme
+// under one CTJ jammer per cluster, scaling the cluster count. Random FH is
+// the scheme whose per-cluster agent is cheap to replicate, so the runs
+// measure engine scaling rather than agent construction.
+func scaleSpecs(o Options) []FieldSpec {
+	base := iot.DefaultConfig()
+	specs := make([]FieldSpec, len(scaleClusterCounts))
+	for i, cl := range scaleClusterCounts {
+		specs[i] = FieldSpec{
+			Scheme:       FieldSchemeRand,
+			Jammer:       true,
+			Clusters:     cl,
+			Nodes:        base.Nodes,
+			SlotDuration: base.SlotDuration,
+			JammerSlot:   base.JammerSlot,
+			Seed:         o.Seed,
+			Slots:        o.FieldSlots,
+		}
+	}
+	return specs
+}
+
+// runScale measures field-wide goodput versus network scale on the sharded
+// engine — the scale-out study beyond the paper's 4-node testbed. Field
+// goodput sums across clusters (each cluster delivers on its own channel),
+// so ideal scaling is linear in the cluster count; the per-cluster series
+// exposes any deviation.
+func runScale(o Options) (*Result, error) {
+	res := &Result{
+		Title:  "field goodput vs network scale (sharded engine, Rand FH)",
+		XLabel: "total peripheral nodes",
+		YLabel: "goodput (pkts/timeslot)",
+		PaperNote: "scale-out study: independent hopping clusters, each with its own " +
+			"CTJ jammer stream; field goodput grows linearly with cluster count while " +
+			"per-cluster goodput stays at the single-network level",
+	}
+	specs := scaleSpecs(o)
+	runs, err := runFieldSpecs(o, specs)
+	if err != nil {
+		return nil, err
+	}
+	total := Series{Name: "field goodput"}
+	per := Series{Name: "per-cluster goodput"}
+	for i, s := range specs {
+		nodes := float64(s.Clusters * s.Nodes)
+		total.X = append(total.X, nodes)
+		total.Y = append(total.Y, runs[i].GoodputPktsPerSlot)
+		per.X = append(per.X, nodes)
+		per.Y = append(per.Y, runs[i].GoodputPktsPerSlot/float64(s.Clusters))
+	}
+	res.Series = append(res.Series, total, per)
 	return res, nil
 }

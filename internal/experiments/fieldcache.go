@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"ctjam/internal/core"
+	"ctjam/internal/env"
+	"ctjam/internal/iot"
+	"ctjam/internal/parallel"
+)
+
+// Field-simulator scheme tags. A FieldSpec names its anti-jamming scheme by
+// tag so the spec stays a pure value: workers rebuild the agent from the tag
+// and the Options budget, which the field key fingerprints.
+const (
+	// FieldSchemePSV is the paper's passive FH baseline.
+	FieldSchemePSV = "psv"
+	// FieldSchemeRand is the random FH baseline.
+	FieldSchemeRand = "rand"
+	// FieldSchemeRL is the RL FH defense (engine-selected, like sweeps).
+	FieldSchemeRL = "rl"
+	// FieldSchemeStatic never hops — the "w/o Jx" reference scheme.
+	FieldSchemeStatic = "static"
+)
+
+// FieldSpec identifies one unique field-simulator run: the network layout,
+// jammer setting, scheme tag, and run length. Together with the Options
+// budget (fingerprinted into the cache key) it fully determines an
+// iot.RunStats, so equal keys mean bit-identical results — the property the
+// cache and the distributed field units rely on.
+type FieldSpec struct {
+	// Scheme is one of the FieldScheme tags.
+	Scheme string
+	// Jammer enables the cross-technology jammer.
+	Jammer bool
+	// Clusters is the number of independent hopping clusters (1 = the
+	// paper's single star network; >1 runs the sharded engine).
+	Clusters int
+	// Nodes is the peripheral-node count per cluster.
+	Nodes int
+	// SlotDuration / JammerSlot follow iot.Config.
+	SlotDuration time.Duration
+	JammerSlot   time.Duration
+	// Seed is the base simulation seed (cluster streams derive from it).
+	Seed int64
+	// Slots is the run length in Tx slots per cluster.
+	Slots int
+}
+
+// fieldKey is the canonical fingerprint of one field run under o. The RL
+// scheme's agent depends on the sweep engine, training budget, and option
+// seed; for the other schemes those fields are zeroed so an irrelevant flag
+// cannot split the cache.
+func fieldKey(o Options, s FieldSpec) string {
+	eng, fast, train, oseed := 0, false, 0, int64(0)
+	if s.Scheme == FieldSchemeRL {
+		eng, fast, train, oseed = int(o.Engine), o.Fast32, o.TrainSlots, o.Seed
+	}
+	return fmt.Sprintf("fd|sch=%s|jam=%t|cl=%d|n=%d|slot=%d|jslot=%d|seed=%d|slots=%d|eng=%d|fast=%t|train=%d|oseed=%d",
+		s.Scheme, s.Jammer, s.Clusters, s.Nodes, int64(s.SlotDuration), int64(s.JammerSlot),
+		s.Seed, s.Slots, eng, fast, train, oseed)
+}
+
+// FieldKey returns the canonical cache key of one field run under o,
+// applying the same option defaulting Run does. Distributed workers
+// recompute it from the wire-decoded (Options, FieldSpec) pair and compare
+// against the coordinator's key, catching codec or version drift before a
+// wrong result can be imported.
+func FieldKey(o Options, s FieldSpec) string {
+	return fieldKey(o.withFloor(), s)
+}
+
+// Validate checks the spec.
+func (s FieldSpec) Validate() error {
+	switch s.Scheme {
+	case FieldSchemePSV, FieldSchemeRand, FieldSchemeRL, FieldSchemeStatic:
+	default:
+		return fmt.Errorf("experiments: unknown field scheme %q", s.Scheme)
+	}
+	if s.Clusters < 1 {
+		return fmt.Errorf("experiments: field spec needs at least 1 cluster")
+	}
+	if s.Slots < 1 {
+		return fmt.Errorf("experiments: field spec needs at least 1 slot")
+	}
+	return nil
+}
+
+// fieldEntry is one memoized field-run result, same done-channel protocol as
+// pointEntry.
+type fieldEntry struct {
+	done chan struct{}
+	s    iot.RunStats
+	err  error
+}
+
+// claimField returns the entry for key and whether the caller claimed it; a
+// claimed entry MUST be filled by the caller.
+func (c *Cache) claimField(key string) (*fieldEntry, bool) {
+	c.mu.Lock()
+	e, ok := c.fields[key]
+	if !ok {
+		e = &fieldEntry{done: make(chan struct{})}
+		c.fields[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.fieldHits.Add(1)
+		return e, false
+	}
+	c.fieldMisses.Add(1)
+	return e, true
+}
+
+// waitField blocks until a field entry is filled or ctx ends; a filled entry
+// always wins the race.
+func waitField(ctx context.Context, e *fieldEntry) (iot.RunStats, error) {
+	select {
+	case <-e.done:
+		return e.s, e.err
+	default:
+	}
+	select {
+	case <-e.done:
+		return e.s, e.err
+	case <-ctx.Done():
+		return iot.RunStats{}, fmt.Errorf("experiments: waiting for in-flight field run: %w", ctx.Err())
+	}
+}
+
+// ImportFieldRun installs an externally computed field run — a distributed
+// worker's RunStats — under its canonical key (see FieldKey). Like
+// ImportPoint, importing an already-resolved key is a no-op and an in-flight
+// key is left for its claimant.
+func (c *Cache) ImportFieldRun(key string, stats iot.RunStats) {
+	c.mu.Lock()
+	e, ok := c.fields[key]
+	if !ok {
+		e = &fieldEntry{done: make(chan struct{})}
+		c.fields[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		return
+	}
+	e.s = stats
+	close(e.done)
+}
+
+// fieldConfig materializes the per-cluster iot.Config of a spec.
+func fieldConfig(s FieldSpec) iot.Config {
+	cfg := iot.DefaultConfig()
+	cfg.Nodes = s.Nodes
+	cfg.SlotDuration = s.SlotDuration
+	cfg.JammerSlot = s.JammerSlot
+	cfg.JammerEnabled = s.Jammer
+	cfg.Seed = s.Seed
+	return cfg
+}
+
+// fieldAgent builds one fresh agent instance for a spec's scheme. Agents are
+// stateful, so every simulator (and every engine cluster) gets its own copy;
+// construction is deterministic in (o, spec).
+func fieldAgent(o Options, s FieldSpec, cfg iot.Config) (env.Agent, error) {
+	switch s.Scheme {
+	case FieldSchemePSV:
+		return core.NewPassiveFH(cfg.Channels, cfg.SweepWidth)
+	case FieldSchemeRand:
+		return core.NewRandomFH(cfg.Channels, cfg.SweepWidth, len(cfg.TxPowers))
+	case FieldSchemeRL:
+		return fieldRLAgent(o, cfg)
+	case FieldSchemeStatic:
+		return core.Static{}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown field scheme %q", s.Scheme)
+	}
+}
+
+// computeFieldSpec executes one field run. Single-cluster specs run the
+// classic Simulator; multi-cluster specs run the sharded engine and project
+// its field-wide statistics. Either way the result is a pure function of
+// (o, spec) — o.Workers only shards the engine and never changes results.
+func computeFieldSpec(o Options, s FieldSpec) (iot.RunStats, error) {
+	if err := s.Validate(); err != nil {
+		return iot.RunStats{}, err
+	}
+	cfg := fieldConfig(s)
+	if s.Clusters == 1 {
+		agent, err := fieldAgent(o, s, cfg)
+		if err != nil {
+			return iot.RunStats{}, err
+		}
+		sim, err := iot.New(cfg)
+		if err != nil {
+			return iot.RunStats{}, err
+		}
+		return sim.Run(agent, s.Slots)
+	}
+	eng, err := iot.NewEngine(iot.EngineConfig{Clusters: s.Clusters, Template: cfg, Workers: o.Workers})
+	if err != nil {
+		return iot.RunStats{}, err
+	}
+	st, err := eng.Run(func(int) (env.Agent, error) { return fieldAgent(o, s, cfg) }, s.Slots)
+	if err != nil {
+		return iot.RunStats{}, err
+	}
+	return st.RunStats(), nil
+}
+
+// runFieldSpecs evaluates one RunStats per spec through the shared field
+// cache, fanning uncached specs out across o.Workers goroutines. Results are
+// collected into a slice indexed by spec, so the output is bit-identical at
+// any worker count and for any prior cache state. The fig10 panels share
+// their 5 runs through this path (goodput and utilization read the same
+// runs), as do repeated invocations of the fig11 panels.
+func runFieldSpecs(o Options, specs []FieldSpec) ([]iot.RunStats, error) {
+	cache := o.Cache
+	if cache == nil {
+		cache = NewCache()
+	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	entries := make([]*fieldEntry, len(specs))
+	claimed := make([]bool, len(specs))
+	for i, s := range specs {
+		entries[i], claimed[i] = cache.claimField(fieldKey(o, s))
+	}
+	err := parallel.ForEach(o.Workers, len(specs), func(i int) error {
+		if !claimed[i] {
+			return nil
+		}
+		e := entries[i]
+		e.s, e.err = computeFieldSpec(o, specs[i])
+		close(e.done)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]iot.RunStats, len(specs))
+	for i, e := range entries {
+		st, werr := waitField(ctx, e)
+		if werr != nil {
+			return nil, fmt.Errorf("field run %s: %w", specs[i].Scheme, werr)
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// CacheFieldSpecs enumerates the unique field runs the given experiment ids
+// evaluate under o, sorted by Key — the field-run analogue of CachePoints
+// and the work list internal/dist shards for whole-simulation replica units.
+// Ids with no field-cache-backed compute contribute nothing; unknown ids
+// return ErrUnknownExperiment.
+func CacheFieldSpecs(o Options, ids []string) ([]FieldSpecKeyed, error) {
+	o = o.withFloor()
+	seen := make(map[string]bool)
+	var out []FieldSpecKeyed
+	for _, id := range ids {
+		e, err := lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		if e.fields == nil {
+			continue
+		}
+		for _, s := range e.fields(o) {
+			k := fieldKey(o, s)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, FieldSpecKeyed{Key: k, Spec: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// FieldSpecKeyed pairs a FieldSpec with its canonical cache key, mirroring
+// PointSpec for the distributed work list.
+type FieldSpecKeyed struct {
+	// Key is the canonical field-run fingerprint — the Cache memoization
+	// key. Equal keys mean bit-identical results.
+	Key string
+	// Spec describes the run.
+	Spec FieldSpec
+}
+
+// EvaluateFieldSpecs computes the RunStats of the given field specs under o,
+// through the shared field cache. This is the worker-side entry point of
+// distributed field execution: results are bit-identical to the same specs'
+// evaluation inside a single-process Run, because both paths are
+// runFieldSpecs over canonical keys.
+func EvaluateFieldSpecs(o Options, specs []FieldSpec) ([]iot.RunStats, error) {
+	o = o.withFloor()
+	return runFieldSpecs(o, specs)
+}

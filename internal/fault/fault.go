@@ -12,7 +12,10 @@
 // with nothing extra to snapshot.
 package fault
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Slot collects the impairments injectors have scheduled for one time slot.
 // The zero value means "no fault".
@@ -224,11 +227,25 @@ func (s SymbolFaults) Apply(slot int64, f *Slot) {
 // deterministic in (seed, slot, position): the i-th symbol of a slot is
 // always flipped — or not — the same way.
 func CorruptSymbols(f Slot, seed, slot int64, stream []uint8) []uint8 {
+	return CorruptSymbolsInto(nil, f, seed, slot, stream)
+}
+
+// CorruptSymbolsInto is CorruptSymbols writing into dst's backing array when
+// it is large enough, so a caller corrupting one packet after another (the
+// field simulator's faulted receive path) reuses a single scratch buffer
+// instead of allocating per packet. The returned slice holds the corrupted
+// stream; dst may be nil.
+func CorruptSymbolsInto(dst []uint8, f Slot, seed, slot int64, stream []uint8) []uint8 {
 	n := len(stream) - f.DropSymbols
 	if n < 0 {
 		n = 0
 	}
-	out := make([]uint8, n)
+	var out []uint8
+	if cap(dst) >= n {
+		out = dst[:n]
+	} else {
+		out = make([]uint8, n)
+	}
 	copy(out, stream[:n])
 	if f.FlipProb > 0 {
 		for i := range out {
@@ -242,6 +259,32 @@ func CorruptSymbols(f Slot, seed, slot int64, stream []uint8) []uint8 {
 		}
 	}
 	return out
+}
+
+// Scoped derives an independent fault stream per hopping cluster from one
+// shared injector spec: every Apply sees the underlying injector at a slot
+// counter offset by Stream·2³², so cluster schedules never overlap while
+// slot-to-slot structure (burst frames, drift interpolation) is preserved
+// within each cluster. Stream 0 is the identity scope: a 1-cluster engine
+// reproduces the unscoped injector bit-for-bit.
+type Scoped struct {
+	// Inner is the shared injector being scoped.
+	Inner Injector
+	// Stream is the cluster index (>= 0).
+	Stream int64
+}
+
+// Name implements Injector.
+func (s Scoped) Name() string {
+	if s.Stream == 0 {
+		return s.Inner.Name()
+	}
+	return fmt.Sprintf("%s@%d", s.Inner.Name(), s.Stream)
+}
+
+// Apply implements Injector.
+func (s Scoped) Apply(slot int64, f *Slot) {
+	s.Inner.Apply(slot+s.Stream<<32, f)
 }
 
 // MeanDrift reports the expected absolute clock drift of a ClockDrift

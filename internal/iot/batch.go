@@ -3,7 +3,6 @@ package iot
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"ctjam/internal/env"
 )
@@ -30,19 +29,16 @@ func BatchRun(sims []*Simulator, a env.BatchAgent, slots int) ([]RunStats, error
 		if err := s.reset(); err != nil {
 			return nil, err
 		}
-		rngs[i] = rand.New(rand.NewSource(s.cfg.Seed + 0x5eed))
+		rngs[i] = rand.New(rand.NewSource(s.c.cfg.Seed + 0x5eed))
 		// The initial channel draw must consume the simulator RNG in the
 		// same order as Run (reset first, then one Intn).
-		prevs[i] = env.SlotInfo{First: true, Channel: s.rng.Intn(s.cfg.Channels)}
+		prevs[i] = env.SlotInfo{First: true, Channel: s.c.rng.Intn(s.c.cfg.Channels)}
 	}
 	if err := a.ResetBatch(rngs); err != nil {
 		return nil, fmt.Errorf("iot: batch reset (agent %s): %w", a.Name(), err)
 	}
 
-	runs := make([]RunStats, k)
-	sumUtil := make([]float64, k)
-	sumOverhd := make([]time.Duration, k)
-	prevJammed := make([]bool, k)
+	accs := make([]runAccum, k)
 	decs := make([]env.Decision, k)
 	for i := 0; i < slots; i++ {
 		if err := a.DecideBatch(prevs, decs); err != nil {
@@ -50,7 +46,7 @@ func BatchRun(sims []*Simulator, a env.BatchAgent, slots int) ([]RunStats, error
 		}
 		for n, s := range sims {
 			d := decs[n]
-			if d.Channel < 0 || d.Channel >= s.cfg.Channels || d.Power < 0 || d.Power >= len(s.cfg.TxPowers) {
+			if d.Channel < 0 || d.Channel >= s.c.cfg.Channels || d.Power < 0 || d.Power >= len(s.c.cfg.TxPowers) {
 				return nil, fmt.Errorf("iot: agent %s returned invalid decision %+v", a.Name(), d)
 			}
 			hopped := !prevs[n].First && d.Channel != prevs[n].Channel
@@ -58,37 +54,7 @@ func BatchRun(sims []*Simulator, a env.BatchAgent, slots int) ([]RunStats, error
 			if err != nil {
 				return nil, err
 			}
-
-			run := &runs[n]
-			run.Slots++
-			run.Attempted += st.Attempted
-			run.Delivered += st.Delivered
-			sumUtil[n] += st.Utilization
-			sumOverhd[n] += st.Overhead
-
-			run.Counters.Slots++
-			if st.Outcome.Succeeded() {
-				run.Counters.Successes++
-			} else {
-				run.Counters.JamLosses++
-			}
-			if st.Outcome != env.OutcomeSuccess {
-				run.Counters.JammedSlots++
-			}
-			if hopped {
-				run.Counters.Hops++
-				if prevJammed[n] && st.Outcome.Succeeded() {
-					run.Counters.UsefulHops++
-				}
-			}
-			if d.Power > 0 {
-				run.Counters.PCSlots++
-				if st.Outcome == env.OutcomeJammedSurvived && s.cfg.TxPowers[0] < s.cfg.TxPowers[d.Power] {
-					run.Counters.UsefulPCs++
-				}
-			}
-
-			prevJammed[n] = st.Outcome == env.OutcomeJammed
+			accs[n].add(&s.c.cfg, d, st, hopped)
 			prevs[n] = env.SlotInfo{
 				Slot:    i + 1,
 				Channel: d.Channel,
@@ -98,10 +64,9 @@ func BatchRun(sims []*Simulator, a env.BatchAgent, slots int) ([]RunStats, error
 			}
 		}
 	}
-	for n := range runs {
-		runs[n].GoodputPktsPerSlot = float64(runs[n].Delivered) / float64(runs[n].Slots)
-		runs[n].MeanUtilization = sumUtil[n] / float64(runs[n].Slots)
-		runs[n].MeanOverhead = sumOverhd[n] / time.Duration(runs[n].Slots)
+	runs := make([]RunStats, k)
+	for n := range accs {
+		runs[n] = accs[n].finish()
 	}
 	return runs, nil
 }

@@ -1,0 +1,76 @@
+package iot
+
+import (
+	"reflect"
+	"testing"
+
+	"ctjam/internal/env"
+)
+
+// TestBatchRunMatchesSerialRuns pins the batching contract: K simulators
+// driven in lockstep produce RunStats bit-identical to K serial Run calls
+// playing the same per-link policy.
+func TestBatchRunMatchesSerialRuns(t *testing.T) {
+	const k, slots = 3, 30
+	cfg := engineTemplate()
+
+	want := make([]RunStats, k)
+	for i := range want {
+		cfgI := cfg
+		cfgI.Seed = cfg.Seed + int64(i)
+		sim, err := New(cfgI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := sim.Run(randomAgent(t, cfgI), slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = run
+	}
+
+	sims := make([]*Simulator, k)
+	agents := make([]env.Agent, k)
+	for i := range sims {
+		cfgI := cfg
+		cfgI.Seed = cfg.Seed + int64(i)
+		sim, err := New(cfgI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sims[i] = sim
+		agents[i] = randomAgent(t, cfgI)
+	}
+	batch, err := env.NewAgentBatch(agents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BatchRun(sims, batch, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("batched runs differ from serial runs")
+	}
+}
+
+func TestBatchRunValidation(t *testing.T) {
+	cfg := engineTemplate()
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := env.NewAgentBatch([]env.Agent{randomAgent(t, cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BatchRun(nil, batch, 10); err == nil {
+		t.Error("empty simulator list: expected error")
+	}
+	if _, err := BatchRun([]*Simulator{sim, sim}, batch, 10); err == nil {
+		t.Error("mis-sized batch: expected error")
+	}
+	if _, err := BatchRun([]*Simulator{sim}, batch, 0); err == nil {
+		t.Error("0 slots: expected error")
+	}
+}

@@ -1,0 +1,275 @@
+package iot
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ctjam/internal/env"
+	"ctjam/internal/fault"
+	"ctjam/internal/metrics"
+	"ctjam/internal/parallel"
+)
+
+// EngineConfig parameterizes the sharded field engine: Clusters independent
+// hopping clusters, each an instance of the Template network (Template.Nodes
+// peripherals per cluster, so the field holds Clusters × Template.Nodes
+// nodes in total). Workers bounds the parallel shards.
+type EngineConfig struct {
+	// Clusters is the number of independent hopping clusters.
+	Clusters int
+	// Template is the per-cluster network configuration. Template.Seed is
+	// the base seed; cluster c derives its own RNG and fault streams from
+	// it (cluster 0 uses the base seed unchanged, so a 1-cluster engine is
+	// bit-identical to a Simulator built from Template).
+	Template Config
+	// Workers bounds the goroutines sharding the clusters (0 or negative
+	// means GOMAXPROCS). Results are bit-identical at any worker count.
+	Workers int
+}
+
+// Validate checks the engine configuration.
+func (c EngineConfig) Validate() error {
+	if c.Clusters < 1 {
+		return fmt.Errorf("iot: engine needs at least 1 cluster, got %d", c.Clusters)
+	}
+	return c.Template.Validate()
+}
+
+// splitmix64 is the standard 64-bit finalizer used to derive independent
+// per-cluster seed streams from the base seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// clusterSeed derives cluster c's seed from the base seed. Cluster 0 keeps
+// the base seed unchanged — the identity that makes a 1-cluster engine
+// reproduce the single-network Simulator bit-for-bit — and every other
+// cluster gets a splitmix-decorrelated stream.
+func clusterSeed(seed int64, c int) int64 {
+	if c == 0 {
+		return seed
+	}
+	return int64(splitmix64(uint64(seed) + uint64(c)*0x9e3779b97f4a7c15))
+}
+
+// Engine runs a field of independent hopping clusters sharded across
+// workers. Each cluster owns its channel state, jammer clock, RNG stream,
+// and fault stream; the engine only coordinates slot boundaries and merges
+// counters, so execution is deterministic at any worker count.
+type Engine struct {
+	cfg      EngineConfig
+	clusters []*cluster
+}
+
+// NewEngine builds the cluster shards. Cluster c runs with seed
+// clusterSeed(Template.Seed, c); when fault injection is configured, cluster
+// c > 0 additionally gets its own fault stream via fault.Scoped so the same
+// injector spec yields decorrelated impairments per cluster.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, clusters: make([]*cluster, cfg.Clusters)}
+	for i := range e.clusters {
+		ccfg := cfg.Template
+		ccfg.Seed = clusterSeed(cfg.Template.Seed, i)
+		if ccfg.Faults != nil && i > 0 {
+			ccfg.Faults = fault.Scoped{Inner: ccfg.Faults, Stream: int64(i)}
+		}
+		cl, err := newCluster(ccfg)
+		if err != nil {
+			return nil, fmt.Errorf("iot: cluster %d: %w", i, err)
+		}
+		e.clusters[i] = cl
+	}
+	return e, nil
+}
+
+// Clusters returns the cluster count.
+func (e *Engine) Clusters() int { return len(e.clusters) }
+
+// Nodes returns the total peripheral-node count across the field.
+func (e *Engine) Nodes() int { return len(e.clusters) * e.cfg.Template.Nodes }
+
+// EngineStats aggregates one field run: per-cluster RunStats plus the
+// field-wide totals. SlotDeliveries counts cluster-slots resolved
+// (Clusters × Slots) — the unit of the engine's throughput benchmark.
+type EngineStats struct {
+	// Clusters and Nodes describe the field size.
+	Clusters int
+	Nodes    int
+	// Slots is the number of Tx slots each cluster executed.
+	Slots int
+	// SlotDeliveries is Clusters × Slots.
+	SlotDeliveries int
+	// Attempted / Delivered / FrameLosses total the per-cluster packet
+	// counts.
+	Attempted   int
+	Delivered   int
+	FrameLosses int
+	// GoodputPktsPerSlot is the field-wide goodput: total packets delivered
+	// per Tx slot (summed over clusters).
+	GoodputPktsPerSlot float64
+	// MeanUtilization averages the per-cluster slot utilizations (all
+	// clusters run the same slot count, so the unweighted mean is the
+	// per-cluster-slot mean).
+	MeanUtilization float64
+	// MeanOverhead averages the per-cluster mean slot overheads.
+	MeanOverhead time.Duration
+	// Counters merges the per-cluster Table I counters.
+	Counters metrics.Counters
+	// PerCluster holds each cluster's own run statistics, indexed by
+	// cluster.
+	PerCluster []RunStats
+}
+
+// RunStats projects the field-wide statistics onto the single-network
+// RunStats shape: totals for packet counts, the field-wide goodput, and the
+// cluster-averaged utilization and overhead. A 1-cluster engine's projection
+// is bit-identical to the Simulator's RunStats over the same Config.
+func (s EngineStats) RunStats() RunStats {
+	return RunStats{
+		Slots:              s.Slots,
+		Attempted:          s.Attempted,
+		Delivered:          s.Delivered,
+		FrameLosses:        s.FrameLosses,
+		GoodputPktsPerSlot: s.GoodputPktsPerSlot,
+		MeanUtilization:    s.MeanUtilization,
+		MeanOverhead:       s.MeanOverhead,
+		Counters:           s.Counters,
+	}
+}
+
+// merge folds per-cluster runs into field-wide statistics.
+func (e *Engine) merge(per []RunStats) EngineStats {
+	out := EngineStats{
+		Clusters:   len(per),
+		Nodes:      e.Nodes(),
+		Slots:      per[0].Slots,
+		PerCluster: per,
+	}
+	out.SlotDeliveries = out.Clusters * out.Slots
+	shards := make([]metrics.Counters, len(per))
+	var util float64
+	var ovh time.Duration
+	for i, r := range per {
+		out.Attempted += r.Attempted
+		out.Delivered += r.Delivered
+		out.FrameLosses += r.FrameLosses
+		util += r.MeanUtilization
+		ovh += r.MeanOverhead
+		shards[i] = r.Counters
+	}
+	out.Counters = metrics.Merge(shards...)
+	out.GoodputPktsPerSlot = float64(out.Delivered) / float64(out.Slots)
+	out.MeanUtilization = util / float64(len(per))
+	out.MeanOverhead = ovh / time.Duration(len(per))
+	return out
+}
+
+// Run drives the whole field for the given number of Tx slots, building one
+// agent per cluster via newAgent (called from worker goroutines; build
+// agents from the cluster index only). Clusters run independently —
+// full-run-per-shard — so this is the fastest path when the policy has no
+// cross-cluster batching to exploit. Results are bit-identical at any
+// worker count.
+func (e *Engine) Run(newAgent func(cluster int) (env.Agent, error), slots int) (EngineStats, error) {
+	if slots <= 0 {
+		return EngineStats{}, fmt.Errorf("iot: slots %d must be positive", slots)
+	}
+	per := make([]RunStats, len(e.clusters))
+	workers := parallel.Workers(e.cfg.Workers, len(e.clusters))
+	err := parallel.ForEach(workers, len(e.clusters), func(i int) error {
+		agent, err := newAgent(i)
+		if err != nil {
+			return fmt.Errorf("iot: cluster %d agent: %w", i, err)
+		}
+		st, err := e.clusters[i].run(agent, slots)
+		if err != nil {
+			return fmt.Errorf("iot: cluster %d: %w", i, err)
+		}
+		per[i] = st
+		return nil
+	})
+	if err != nil {
+		return EngineStats{}, err
+	}
+	return e.merge(per), nil
+}
+
+// RunBatch drives the whole field in lockstep through one env.BatchAgent
+// sized for Clusters links: each Tx slot, the agent decides for every
+// cluster at once (one stacked inference batch), then the clusters resolve
+// their slots in parallel. Per-cluster RNG seeding matches Run exactly, so
+// RunBatch is bit-identical to Run over per-cluster agents implementing the
+// same policy, at any worker count.
+func (e *Engine) RunBatch(a env.BatchAgent, slots int) (EngineStats, error) {
+	k := len(e.clusters)
+	if a.Len() != k {
+		return EngineStats{}, fmt.Errorf("iot: batch agent %s sized for %d links, got %d clusters", a.Name(), a.Len(), k)
+	}
+	if slots <= 0 {
+		return EngineStats{}, fmt.Errorf("iot: slots %d must be positive", slots)
+	}
+	rngs := make([]*rand.Rand, k)
+	prevs := make([]env.SlotInfo, k)
+	for i, cl := range e.clusters {
+		if err := cl.reset(); err != nil {
+			return EngineStats{}, err
+		}
+		rngs[i] = rand.New(rand.NewSource(cl.cfg.Seed + 0x5eed))
+		// The initial channel draw must consume the cluster RNG in the same
+		// order as run (reset first, then one Intn).
+		prevs[i] = env.SlotInfo{First: true, Channel: cl.rng.Intn(cl.cfg.Channels)}
+	}
+	if err := a.ResetBatch(rngs); err != nil {
+		return EngineStats{}, fmt.Errorf("iot: batch reset (agent %s): %w", a.Name(), err)
+	}
+
+	accs := make([]runAccum, k)
+	decs := make([]env.Decision, k)
+	stats := make([]SlotStats, k)
+	hops := make([]bool, k)
+	workers := parallel.Workers(e.cfg.Workers, k)
+	for s := 0; s < slots; s++ {
+		if err := a.DecideBatch(prevs, decs); err != nil {
+			return EngineStats{}, fmt.Errorf("iot: slot %d (agent %s): %w", s, a.Name(), err)
+		}
+		err := parallel.ForEach(workers, k, func(i int) error {
+			cl := e.clusters[i]
+			d := decs[i]
+			if d.Channel < 0 || d.Channel >= cl.cfg.Channels || d.Power < 0 || d.Power >= len(cl.cfg.TxPowers) {
+				return fmt.Errorf("iot: agent %s returned invalid decision %+v for cluster %d", a.Name(), d, i)
+			}
+			hops[i] = !prevs[i].First && d.Channel != prevs[i].Channel
+			st, err := cl.runSlot(d.Channel, d.Power, hops[i])
+			if err != nil {
+				return fmt.Errorf("iot: cluster %d slot %d: %w", i, s, err)
+			}
+			stats[i] = st
+			return nil
+		})
+		if err != nil {
+			return EngineStats{}, err
+		}
+		for i := range e.clusters {
+			accs[i].add(&e.clusters[i].cfg, decs[i], stats[i], hops[i])
+			prevs[i] = env.SlotInfo{
+				Slot:    s + 1,
+				Channel: decs[i].Channel,
+				Power:   decs[i].Power,
+				Outcome: stats[i].Outcome,
+				Hopped:  hops[i],
+			}
+		}
+	}
+	per := make([]RunStats, k)
+	for i := range accs {
+		per[i] = accs[i].finish()
+	}
+	return e.merge(per), nil
+}

@@ -1,0 +1,58 @@
+package iot
+
+import "time"
+
+// interval is a half-open time interval [start, end).
+type interval struct {
+	start, end time.Duration
+}
+
+// slotWheel is the per-slot event index of the discrete-event engine. The
+// jammer's emissions arrive as a sorted span list (advanceJammer appends at
+// monotonically increasing slot boundaries); the wheel collapses the spans
+// that can actually kill a packet — same channel block, power above the
+// victim's — into a merged interval union once per Tx slot. The packet loop
+// then asks "does this packet overlap a strong emission?" with a cursor that
+// only moves forward, so resolving a slot of P packets against S spans costs
+// O(P+S) instead of the O(P·S) of rescanning the span list per packet.
+//
+// The answer for each packet is identical to the exhaustive scan: a packet
+// overlaps some strong span iff it overlaps their union, and packets advance
+// monotonically in time within a slot so a passed interval can never matter
+// again.
+type slotWheel struct {
+	strong []interval
+	cursor int
+}
+
+// build recomputes the merged strong-emission union for one Tx slot. spans
+// must be sorted by start time (the cluster maintains this invariant);
+// adjacent or overlapping qualifying spans coalesce. The backing array is
+// reused across slots.
+func (w *slotWheel) build(spans []jamSpan, victimBlock int, txPower float64) {
+	w.strong = w.strong[:0]
+	w.cursor = 0
+	for _, sp := range spans {
+		if sp.block != victimBlock || sp.power <= txPower {
+			continue
+		}
+		if n := len(w.strong); n > 0 && sp.start <= w.strong[n-1].end {
+			if sp.end > w.strong[n-1].end {
+				w.strong[n-1].end = sp.end
+			}
+			continue
+		}
+		w.strong = append(w.strong, interval{start: sp.start, end: sp.end})
+	}
+}
+
+// hits reports whether [t0, t1) overlaps any strong emission. Successive
+// calls within one slot must present non-decreasing t0 — the packet loop
+// walks forward in time — which lets the cursor retire intervals that ended
+// before t0 permanently.
+func (w *slotWheel) hits(t0, t1 time.Duration) bool {
+	for w.cursor < len(w.strong) && w.strong[w.cursor].end <= t0 {
+		w.cursor++
+	}
+	return w.cursor < len(w.strong) && w.strong[w.cursor].start < t1
+}

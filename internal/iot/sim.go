@@ -8,9 +8,7 @@ import (
 	"ctjam/internal/env"
 	"ctjam/internal/fault"
 	"ctjam/internal/jammer"
-	"ctjam/internal/mac"
 	"ctjam/internal/metrics"
-	"ctjam/internal/phy/zigbee"
 )
 
 // Config parameterizes the field simulator. DefaultConfig mirrors the
@@ -137,381 +135,46 @@ type RunStats struct {
 	Counters metrics.Counters
 }
 
-// jamSpan is one continuous jamming emission on a channel block.
-type jamSpan struct {
-	start, end time.Duration
-	block      int
-	power      float64
-}
-
-// Simulator runs the star network against the jammer. Not safe for
-// concurrent use.
+// Simulator runs one star network against the jammer. It is a compatibility
+// facade over a single engine cluster: the per-slot mechanics live in
+// cluster.go and are shared with the sharded field engine, and a Simulator
+// behaves bit-identically to Engine{Clusters: 1} over the same Config. Not
+// safe for concurrent use.
 type Simulator struct {
-	cfg     Config
-	rng     *rand.Rand
-	sweeper *jammer.Sweeper
-
-	now         time.Duration
-	nextJamSlot time.Duration
-	spans       []jamSpan
-	arbiter     *mac.Arbiter
-	slotIdx     int
-
-	// frameSymbols is the demodulated symbol stream of one full-size data
-	// frame, precomputed at reset when fault injection is configured; pktIdx
-	// is the monotone packet counter seeding per-packet symbol corruption.
-	frameSymbols []uint8
-	pktIdx       int64
+	c *cluster
 }
 
 // New builds a Simulator.
 func New(cfg Config) (*Simulator, error) {
-	if err := cfg.Validate(); err != nil {
+	c, err := newCluster(cfg)
+	if err != nil {
 		return nil, err
 	}
-	s := &Simulator{cfg: cfg}
-	if err := s.reset(); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return &Simulator{c: c}, nil
 }
 
-func (s *Simulator) reset() error {
-	s.rng = rand.New(rand.NewSource(s.cfg.Seed))
-	s.now = 0
-	s.nextJamSlot = 0
-	s.spans = nil
-	s.slotIdx = 0
-	s.pktIdx = 0
-	s.frameSymbols = nil
-	if s.cfg.Faults != nil {
-		// Data packets are full-size frames (PacketAirtime is the 125-byte
-		// airtime); a deterministic payload keeps the receive path pure.
-		payload := make([]byte, zigbee.MaxPayload-zigbee.FCSLen)
-		for i := range payload {
-			payload[i] = byte(i)
-		}
-		frame, err := zigbee.EncodeFrame(payload)
-		if err != nil {
-			return fmt.Errorf("iot: build data frame: %w", err)
-		}
-		s.frameSymbols = zigbee.BytesToSymbols(frame)
-	}
-	if s.cfg.JammerEnabled {
-		sw, err := jammer.NewSweeper(s.cfg.Channels, s.cfg.SweepWidth, s.cfg.JamPowers, s.cfg.JammerMode, s.rng)
-		if err != nil {
-			return fmt.Errorf("iot: build jammer: %w", err)
-		}
-		s.sweeper = sw
-	} else {
-		s.sweeper = nil
-	}
-	s.arbiter = nil
-	if s.cfg.UseCSMA {
-		arb, err := mac.NewArbiter(s.cfg.Nodes, mac.DefaultParams(), s.rng)
-		if err != nil {
-			return fmt.Errorf("iot: build csma arbiter: %w", err)
-		}
-		s.arbiter = arb
-	}
-	return nil
-}
-
-// advanceJammer processes jammer slot boundaries up to horizon, recording
-// emission spans. The jammer senses the victim's current data channel at
-// each of its own slot starts.
-func (s *Simulator) advanceJammer(victimChannel int, horizon time.Duration) error {
-	if s.sweeper == nil {
-		return nil
-	}
-	for s.nextJamSlot < horizon {
-		jammed, power, err := s.sweeper.Step(victimChannel)
-		if err != nil {
-			return err
-		}
-		if jammed {
-			block, _ := s.sweeper.LockedBlock()
-			s.spans = append(s.spans, jamSpan{
-				start: s.nextJamSlot,
-				end:   s.nextJamSlot + s.cfg.JammerSlot,
-				block: block,
-				power: power,
-			})
-		}
-		s.nextJamSlot += s.cfg.JammerSlot
-	}
-	// Trim spans that ended before the current slot to bound memory.
-	keep := s.spans[:0]
-	for _, sp := range s.spans {
-		if sp.end > s.now {
-			keep = append(keep, sp)
-		}
-	}
-	s.spans = keep
-	return nil
-}
-
-// overlap returns the duration of [a0,a1) ∩ [b0,b1).
-func overlap(a0, a1, b0, b1 time.Duration) time.Duration {
-	lo, hi := a0, a1
-	if b0 > lo {
-		lo = b0
-	}
-	if b1 < hi {
-		hi = b1
-	}
-	if hi <= lo {
-		return 0
-	}
-	return hi - lo
-}
+// reset rewinds the simulator to slot 0.
+func (s *Simulator) reset() error { return s.c.reset() }
 
 // RunSlot simulates one Tx slot on the given channel and power index,
 // returning its statistics. hopped marks a channel change decided at the
 // slot boundary.
 func (s *Simulator) RunSlot(channel, power int, hopped bool) (SlotStats, error) {
-	if channel < 0 || channel >= s.cfg.Channels {
-		return SlotStats{}, fmt.Errorf("iot: channel %d out of range", channel)
-	}
-	if power < 0 || power >= len(s.cfg.TxPowers) {
-		return SlotStats{}, fmt.Errorf("iot: power index %d out of range", power)
-	}
-	slotStart := s.now
-	slotEnd := slotStart + s.cfg.SlotDuration
-
-	// Injected faults for this slot: clock drift stretches every timed
-	// operation, burst noise acts as a whole-slot co-channel emission, and
-	// ACK loss voids the slot's deliveries.
-	var flt fault.Slot
-	if s.cfg.Faults != nil {
-		s.cfg.Faults.Apply(int64(s.slotIdx), &flt)
-	}
-	drift := 1 + flt.ClockDrift
-	if drift < 0.5 {
-		drift = 0.5
-	}
-	stretch := func(d time.Duration) time.Duration {
-		return time.Duration(float64(d) * drift)
-	}
-
-	// Phase 1: policy inference + polling-mode FH/PC negotiation.
-	overheadDur := s.cfg.Timing.sample(s.cfg.Timing.DQNDecision, s.rng)
-	for n := 0; n < s.cfg.Nodes; n++ {
-		overheadDur += s.cfg.Timing.sample(s.cfg.Timing.PollPerNode, s.rng)
-		if s.rng.Float64() < s.cfg.Timing.OffChannelProb {
-			overheadDur += s.cfg.Timing.sampleRecovery(s.rng)
-		}
-	}
-	overheadDur = stretch(overheadDur)
-	if overheadDur > s.cfg.SlotDuration {
-		overheadDur = s.cfg.SlotDuration
-	}
-	dataStart := slotStart + overheadDur
-
-	// Drive the jammer across this slot.
-	if err := s.advanceJammer(channel, slotEnd); err != nil {
-		return SlotStats{}, err
-	}
-
-	victimBlock := channel / s.cfg.SweepWidth
-	txPower := s.cfg.TxPowers[power]
-
-	// Phase 2: data exchange under LBT / CSMA-CA.
-	fixedService := stretch(s.cfg.Timing.PacketServiceTime())
-	air := stretch(s.cfg.Timing.LBT + s.cfg.Timing.PacketAirtime)
-	tail := stretch(s.cfg.Timing.AckRTT + s.cfg.Timing.Processing)
-	stats := SlotStats{
-		Overhead: overheadDur,
-		DataTime: slotEnd - dataStart,
-		Hopped:   hopped,
-	}
-	for t := dataStart; ; {
-		service := fixedService
-		if s.arbiter != nil {
-			out, err := s.arbiter.NextTransmission()
-			if err != nil {
-				// Retry-limit exhaustion: the slot time is burnt
-				// without a transmission.
-				t += time.Duration(mac.DefaultParams().MaxRetries) * air
-				continue
-			}
-			// Collided attempts waste a frame airtime each.
-			service = out.AccessDelay +
-				time.Duration(out.Collisions)*air +
-				s.cfg.Timing.PacketAirtime + tail
-		}
-		if t+service > slotEnd {
-			break
-		}
-		stats.Attempted++
-		lost := flt.NoisePower > txPower
-		if !lost {
-			for _, sp := range s.spans {
-				if sp.block != victimBlock || sp.power <= txPower {
-					continue
-				}
-				if overlap(t, t+service-tail, sp.start, sp.end) > 0 {
-					lost = true
-					break
-				}
-			}
-		}
-		if !lost && (flt.DropSymbols > 0 || flt.FlipProb > 0) {
-			// The packet survived the channel; push it through the ZigBee
-			// receive path under the slot's symbol faults.
-			if !s.deliverFrame(flt) {
-				lost = true
-				stats.FrameLosses++
-			}
-		}
-		if !lost {
-			stats.Delivered++
-		}
-		t += service
-	}
-	if flt.AckLoss {
-		// The ACK channel is out for this slot: packets may have reached
-		// the hub, but none count as delivered.
-		stats.Delivered = 0
-	}
-
-	// Classify the slot like the MDP's states. Burst noise occupies the
-	// victim's channel for the whole data phase.
-	var coChannel, strong time.Duration
-	for _, sp := range s.spans {
-		if sp.block != victimBlock {
-			continue
-		}
-		o := overlap(dataStart, slotEnd, sp.start, sp.end)
-		if o == 0 {
-			continue
-		}
-		coChannel += o
-		if sp.power > txPower {
-			strong += o
-		}
-	}
-	if flt.NoisePower > 0 {
-		if stats.DataTime > coChannel {
-			coChannel = stats.DataTime
-		}
-		if flt.NoisePower > txPower && stats.DataTime > strong {
-			strong = stats.DataTime
-		}
-	}
-	switch {
-	case stats.DataTime > 0 && strong*2 > stats.DataTime:
-		stats.Outcome = env.OutcomeJammed
-	case coChannel > 0:
-		stats.Outcome = env.OutcomeJammedSurvived
-	default:
-		stats.Outcome = env.OutcomeSuccess
-	}
-	if flt.AckLoss && stats.Outcome != env.OutcomeJammed {
-		// Without ACKs the hub observes the slot as lost, like env.Step.
-		stats.Outcome = env.OutcomeJammed
-	}
-	if stats.DataTime > 0 {
-		stats.Utilization = float64(stats.DataTime) / float64(s.cfg.SlotDuration)
-	}
-
-	s.now = slotEnd
-	s.slotIdx++
-	return stats, nil
-}
-
-// deliverFrame demodulates one corrupted copy of the precomputed data frame
-// and reports whether the receiver recovered it. Corruption is a pure
-// function of (config seed, packet index), so runs stay bit-reproducible.
-func (s *Simulator) deliverFrame(flt fault.Slot) bool {
-	syms := fault.CorruptSymbols(flt, s.cfg.Seed, s.pktIdx, s.frameSymbols)
-	s.pktIdx++
-	raw, err := zigbee.SymbolsToBytes(syms)
-	if err != nil {
-		return false
-	}
-	_, err = zigbee.DecodeFrame(raw)
-	return err == nil
+	return s.c.runSlot(channel, power, hopped)
 }
 
 // Run drives an anti-jamming agent through the simulator for the given
 // number of Tx slots.
 func (s *Simulator) Run(agent env.Agent, slots int) (RunStats, error) {
-	if slots <= 0 {
-		return RunStats{}, fmt.Errorf("iot: slots %d must be positive", slots)
-	}
-	if err := s.reset(); err != nil {
-		return RunStats{}, err
-	}
-	agent.Reset(rand.New(rand.NewSource(s.cfg.Seed + 0x5eed)))
-
-	var (
-		run        RunStats
-		sumUtil    float64
-		sumOverhd  time.Duration
-		prev       = env.SlotInfo{First: true, Channel: s.rng.Intn(s.cfg.Channels)}
-		prevJammed = false
-	)
-	for i := 0; i < slots; i++ {
-		d := agent.Decide(prev)
-		if d.Channel < 0 || d.Channel >= s.cfg.Channels || d.Power < 0 || d.Power >= len(s.cfg.TxPowers) {
-			return RunStats{}, fmt.Errorf("iot: agent %s returned invalid decision %+v", agent.Name(), d)
-		}
-		hopped := !prev.First && d.Channel != prev.Channel
-		st, err := s.RunSlot(d.Channel, d.Power, hopped)
-		if err != nil {
-			return RunStats{}, err
-		}
-
-		run.Slots++
-		run.Attempted += st.Attempted
-		run.Delivered += st.Delivered
-		run.FrameLosses += st.FrameLosses
-		sumUtil += st.Utilization
-		sumOverhd += st.Overhead
-
-		run.Counters.Slots++
-		if st.Outcome.Succeeded() {
-			run.Counters.Successes++
-		} else {
-			run.Counters.JamLosses++
-		}
-		if st.Outcome != env.OutcomeSuccess {
-			run.Counters.JammedSlots++
-		}
-		if hopped {
-			run.Counters.Hops++
-			if prevJammed && st.Outcome.Succeeded() {
-				run.Counters.UsefulHops++
-			}
-		}
-		if d.Power > 0 {
-			run.Counters.PCSlots++
-			if st.Outcome == env.OutcomeJammedSurvived && s.cfg.TxPowers[0] < s.cfg.TxPowers[d.Power] {
-				run.Counters.UsefulPCs++
-			}
-		}
-
-		prevJammed = st.Outcome == env.OutcomeJammed
-		prev = env.SlotInfo{
-			Slot:    i + 1,
-			Channel: d.Channel,
-			Power:   d.Power,
-			Outcome: st.Outcome,
-			Hopped:  hopped,
-		}
-	}
-	run.GoodputPktsPerSlot = float64(run.Delivered) / float64(run.Slots)
-	run.MeanUtilization = sumUtil / float64(run.Slots)
-	run.MeanOverhead = sumOverhd / time.Duration(run.Slots)
-	return run, nil
+	return s.c.run(agent, slots)
 }
 
 // FunctionTimings samples the per-function time consumption of Fig. 9(a):
 // DQN inference, data/ACK round trip, hub packet processing, and per-node
 // polling. Each entry holds `trials` samples in seconds.
 func (s *Simulator) FunctionTimings(trials int) map[string][]float64 {
-	rng := rand.New(rand.NewSource(s.cfg.Seed + 0x9a))
+	cfg := s.c.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed + 0x9a))
 	out := map[string][]float64{
 		"DQN":     make([]float64, trials),
 		"ACK":     make([]float64, trials),
@@ -519,10 +182,10 @@ func (s *Simulator) FunctionTimings(trials int) map[string][]float64 {
 		"Polling": make([]float64, trials),
 	}
 	for i := 0; i < trials; i++ {
-		out["DQN"][i] = s.cfg.Timing.sample(s.cfg.Timing.DQNDecision, rng).Seconds()
-		out["ACK"][i] = s.cfg.Timing.sample(s.cfg.Timing.AckRTT, rng).Seconds()
-		out["Proc"][i] = s.cfg.Timing.sample(s.cfg.Timing.Processing, rng).Seconds()
-		out["Polling"][i] = s.cfg.Timing.sample(s.cfg.Timing.PollPerNode, rng).Seconds()
+		out["DQN"][i] = cfg.Timing.sample(cfg.Timing.DQNDecision, rng).Seconds()
+		out["ACK"][i] = cfg.Timing.sample(cfg.Timing.AckRTT, rng).Seconds()
+		out["Proc"][i] = cfg.Timing.sample(cfg.Timing.Processing, rng).Seconds()
+		out["Polling"][i] = cfg.Timing.sample(cfg.Timing.PollPerNode, rng).Seconds()
 	}
 	return out
 }
@@ -543,14 +206,15 @@ func (s *Simulator) NegotiationTimes(nodes, trials int, offProb float64) ([]floa
 	if offProb < 0 || offProb > 1 {
 		return nil, fmt.Errorf("iot: off probability %v outside [0,1]", offProb)
 	}
-	rng := rand.New(rand.NewSource(s.cfg.Seed + 0x9b))
+	cfg := s.c.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed + 0x9b))
 	out := make([]float64, trials)
 	for i := range out {
 		var total time.Duration
 		for n := 0; n < nodes; n++ {
-			total += s.cfg.Timing.sample(s.cfg.Timing.PollPerNode, rng)
+			total += cfg.Timing.sample(cfg.Timing.PollPerNode, rng)
 			if rng.Float64() < offProb {
-				total += s.cfg.Timing.sampleRecovery(rng)
+				total += cfg.Timing.sampleRecovery(rng)
 			}
 		}
 		out[i] = total.Seconds()

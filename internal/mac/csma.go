@@ -91,6 +91,13 @@ type Arbiter struct {
 	params Params
 	nodes  int
 	rng    *rand.Rand
+
+	// Per-call scratch, reused across NextTransmission calls: the field
+	// simulator resolves one contention per data packet, so these would
+	// otherwise be steady-state allocations on the hot path.
+	be      []int
+	draws   []time.Duration
+	winners []int
 }
 
 // NewArbiter builds an arbiter for n saturated nodes.
@@ -104,7 +111,14 @@ func NewArbiter(n int, params Params, rng *rand.Rand) (*Arbiter, error) {
 	if rng == nil {
 		return nil, errors.New("mac: rng must not be nil")
 	}
-	return &Arbiter{params: params, nodes: n, rng: rng}, nil
+	return &Arbiter{
+		params:  params,
+		nodes:   n,
+		rng:     rng,
+		be:      make([]int, n),
+		draws:   make([]time.Duration, n),
+		winners: make([]int, 0, n),
+	}, nil
 }
 
 // Nodes returns the contender count.
@@ -114,7 +128,7 @@ func (a *Arbiter) Nodes() int { return a.nodes }
 // node it reduces to one backoff + CCA. The returned delay excludes the
 // frame airtime itself.
 func (a *Arbiter) NextTransmission() (Outcome, error) {
-	be := make([]int, a.nodes)
+	be := a.be
 	for i := range be {
 		be[i] = a.params.MinBE
 	}
@@ -126,7 +140,7 @@ func (a *Arbiter) NextTransmission() (Outcome, error) {
 	// transmits. Ties (within one unit period) collide: the colliders
 	// raise BE and everyone redraws. The standard bounds retries.
 	for attempt := 0; attempt <= a.params.MaxRetries+a.params.MaxBackoffs; attempt++ {
-		draws := make([]time.Duration, a.nodes)
+		draws := a.draws
 		minD := time.Duration(1<<62 - 1)
 		for i := range draws {
 			draws[i] = DrawBackoff(be[i], a.rng)
@@ -134,7 +148,7 @@ func (a *Arbiter) NextTransmission() (Outcome, error) {
 				minD = draws[i]
 			}
 		}
-		winners := make([]int, 0, 2)
+		winners := a.winners[:0]
 		for i, d := range draws {
 			if d == minD {
 				winners = append(winners, i)

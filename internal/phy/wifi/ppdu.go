@@ -246,17 +246,25 @@ func DetectSTF(wave []complex128) (start int, metric float64) {
 	bestStart, bestMetric := 0, 0.0
 	for off := 0; off+STFLen <= len(wave); off++ {
 		var corr complex128
-		var energy float64
+		var energyA, energyB float64
 		for i := 0; i < window; i++ {
 			a := wave[off+i]
 			b := wave[off+i+stfPeriod]
 			corr += a * cmplx.Conj(b)
-			energy += real(a)*real(a) + imag(a)*imag(a)
+			energyA += real(a)*real(a) + imag(a)*imag(a)
+			energyB += real(b)*real(b) + imag(b)*imag(b)
 		}
-		if energy == 0 {
+		if energyA == 0 || energyB == 0 {
 			continue
 		}
-		m := cmplx.Abs(corr) / energy
+		// Normalize by the geometric mean of both windows' energies
+		// (Schmidl-Cox): Cauchy-Schwarz then bounds the metric by 1;
+		// dividing by one window alone does not when the lagged window
+		// carries more energy. Clamp the residual float rounding.
+		m := cmplx.Abs(corr) / math.Sqrt(energyA*energyB)
+		if m > 1 {
+			m = 1
+		}
 		if m > bestMetric {
 			bestMetric = m
 			bestStart = off

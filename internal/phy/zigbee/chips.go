@@ -175,10 +175,23 @@ func BytesToSymbols(data []byte) []uint8 {
 // SymbolsToBytes packs 4-bit symbols (low nibble first) back into bytes. The
 // symbol count must be even and every symbol < 16.
 func SymbolsToBytes(symbols []uint8) ([]byte, error) {
+	return SymbolsToBytesInto(nil, symbols)
+}
+
+// SymbolsToBytesInto is SymbolsToBytes packing into dst's backing array when
+// it is large enough, so the field simulator's batched receive path packs one
+// delivery after another through a single scratch buffer. dst may be nil.
+func SymbolsToBytesInto(dst []byte, symbols []uint8) ([]byte, error) {
 	if len(symbols)%2 != 0 {
 		return nil, fmt.Errorf("zigbee: odd symbol count %d", len(symbols))
 	}
-	out := make([]byte, 0, len(symbols)/2)
+	n := len(symbols) / 2
+	var out []byte
+	if cap(dst) >= n {
+		out = dst[:0]
+	} else {
+		out = make([]byte, 0, n)
+	}
 	for i := 0; i < len(symbols); i += 2 {
 		lo, hi := symbols[i], symbols[i+1]
 		if lo >= 16 || hi >= 16 {

@@ -69,6 +69,27 @@ func EncodeFrame(payload []byte) ([]byte, error) {
 // that a stream without a delimiter occupies the receiver without yielding
 // data (ErrNoSFD).
 func DecodeFrame(stream []byte) ([]byte, error) {
+	payload, err := scanFrame(stream)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out, nil
+}
+
+// CheckFrame reports whether a received byte stream parses as a valid frame
+// (SFD found, PSDU complete, FCS matches), without copying the payload out.
+// It is the allocation-free receive check the field simulator runs per
+// delivered packet; the error taxonomy matches DecodeFrame exactly.
+func CheckFrame(stream []byte) error {
+	_, err := scanFrame(stream)
+	return err
+}
+
+// scanFrame locates and validates one frame in stream, returning the payload
+// as a subslice (no copy).
+func scanFrame(stream []byte) ([]byte, error) {
 	// Find SFD preceded by at least one zero (preamble) byte.
 	sfdAt := -1
 	for i := 1; i < len(stream); i++ {
@@ -97,9 +118,7 @@ func DecodeFrame(stream []byte) ([]byte, error) {
 	if CRC16(payload) != gotFCS {
 		return nil, ErrBadFCS
 	}
-	out := make([]byte, len(payload))
-	copy(out, payload)
-	return out, nil
+	return payload, nil
 }
 
 // FrameAirtime returns the on-air duration in seconds of a frame carrying

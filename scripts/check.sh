@@ -43,12 +43,19 @@ go test -race -count=1 -run 'TestSweepCache|TestBatchedSerialEvalCounters' ./int
 # coordinator's lease ledger must stay race-clean under concurrent workers.
 go test -race -count=1 -run 'TestDistributed' ./internal/dist
 
+# The sharded field engine writes per-cluster results into index-addressed
+# slices from worker goroutines; its bit-identical-at-any-worker-count
+# guarantee must stay race-clean, for both the full-run-per-shard path and
+# the lockstep batched path.
+go test -race -count=1 -run 'TestFieldShardEquivalence|TestEngineRunBatchMatchesRun' ./internal/iot
+
 # Benchmark smoke: one iteration of the headline cache benchmark, the
 # batched policy engine, and a short sustained-serve window, so the
 # committed BENCH numbers stay regenerable (full runs via scripts/bench.sh).
 go test -run '^$' -bench '^BenchmarkAllSweeps$' -benchtime 1x .
 go test -run '^$' -bench '^BenchmarkPolicyBatch$' -benchtime 1x ./internal/policy
 CTJAM_SERVE_BENCH_MS=200 go test -run '^$' -bench '^BenchmarkServeSustained$' -benchtime 1x ./internal/serve
+go test -run '^$' -bench '^BenchmarkFieldEngine/nodes-1e3$' -benchtime 1x ./internal/iot
 
 # Fuzz smoke: a few seconds per target catches shallow panics and keeps the
 # committed corpora replaying. Override the budget with CHECK_FUZZTIME
@@ -79,8 +86,9 @@ go test -cover ./internal/phy/... ./internal/rl ./internal/experiments ./interna
 
 # Higher floors for the inference hot path: internal/nn carries the asm
 # kernels and their equivalence harness (>=80%), internal/serve the
-# production decision surface (>=75%).
-go test -cover ./internal/nn ./internal/serve | awk '
+# production decision surface (>=75%), and internal/iot the sharded field
+# engine whose determinism guarantees every committed field number (>=75%).
+go test -cover ./internal/nn ./internal/serve ./internal/iot | awk '
 	{ print }
 	/^(FAIL|---)/ { bad = 1 }
 	/coverage:/ {
@@ -92,5 +100,5 @@ go test -cover ./internal/nn ./internal/serve | awk '
 			if (p + 0 < floor) bad = 1
 		}
 	}
-	END { if (bad) { print "coverage gate failed (nn below 80% or serve below 75%)"; exit 1 } }
+	END { if (bad) { print "coverage gate failed (nn below 80%, serve below 75%, or iot below 75%)"; exit 1 } }
 '
