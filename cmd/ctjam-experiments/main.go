@@ -5,7 +5,7 @@
 //	ctjam-experiments [-id fig6a] [-scale paper|quick] [-engine mdp|dqn]
 //	                  [-workers N] [-csv dir] [-list] [-cache-stats]
 //	                  [-cpuprofile FILE] [-memprofile FILE] [-trace FILE]
-//	                  [-distribute addr | -worker URL |
+//	                  [-distribute addr [-no-scheme-ship] | -worker URL |
 //	                   -shards N -shard-index I -spool DIR | -merge -spool DIR]
 //
 // With -id all (the default) every registered experiment runs in order,
@@ -24,7 +24,13 @@
 //	-distribute addr   coordinate: serve work units over HTTP on addr
 //	                   (":0" picks a port, reported on stderr), wait for
 //	                   workers to return every result, then print the
-//	                   experiments from the merged cache.
+//	                   experiments from the merged cache. Each unique
+//	                   scheme is trained exactly once fleet-wide: the
+//	                   coordinator leases train units first, stores the
+//	                   uploaded CTSC checkpoints content-addressed, and
+//	                   ships them to the workers evaluating dependent
+//	                   points (-no-scheme-ship restores per-worker
+//	                   retraining).
 //	-worker URL        work: poll the coordinator at URL (e.g.
 //	                   http://host:9077), evaluate assigned units locally,
 //	                   report results, exit when the run completes.
@@ -81,6 +87,7 @@ func run(args []string) error {
 		trcFile = fs.String("trace", "", "write a runtime execution trace to this file")
 
 		distribute = fs.String("distribute", "", "coordinate a distributed run: serve work units on this addr:port, wait for -worker processes, then print the experiments")
+		noShip     = fs.Bool("no-scheme-ship", false, "distributed runs: disable fleet-wide scheme reuse (every worker retrains the schemes its points need)")
 		workerURL  = fs.String("worker", "", "run as a worker for the coordinator at this base URL (e.g. http://host:9077) and exit")
 		workerID   = fs.String("worker-id", "", "worker name in protocol requests (default host-pid)")
 		shards     = fs.Int("shards", 0, "static sharding: total shard count (requires -shard-index and -spool)")
@@ -125,7 +132,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "ctjam-experiments: worker %s evaluated %d units\n", id, n)
+		cs := w.CacheStats()
+		fmt.Fprintf(os.Stderr, "ctjam-experiments: worker %s evaluated %d units (%d schemes trained here, %d fetched from coordinator)\n",
+			id, n, cs.SchemeBuilds, cs.SchemeImports)
 		return nil
 	}
 
@@ -196,7 +205,7 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "ctjam-experiments: merged %d units from %s\n", n, *spool)
 	}
 	if *distribute != "" {
-		coord, err := dist.NewCoordinator(opts, ids, dist.CoordinatorOptions{})
+		coord, err := dist.NewCoordinator(opts, ids, dist.CoordinatorOptions{NoSchemeShip: *noShip})
 		if err != nil {
 			return err
 		}
@@ -254,8 +263,8 @@ func run(args []string) error {
 	}
 	if *stats {
 		cs := opts.Cache.Stats()
-		fmt.Fprintf(os.Stderr, "sweep-point cache: %d unique points computed, %d reused, %d schemes trained\n",
-			cs.PointMisses, cs.PointHits, cs.Schemes)
+		fmt.Fprintf(os.Stderr, "sweep-point cache: %d unique points computed, %d reused, %d schemes (%d trained here, %d imported)\n",
+			cs.PointMisses, cs.PointHits, cs.Schemes, cs.SchemeBuilds, cs.SchemeImports)
 		fmt.Fprintf(os.Stderr, "field-run cache: %d unique field runs computed, %d reused\n",
 			cs.FieldMisses, cs.FieldHits)
 	}

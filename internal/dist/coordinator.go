@@ -6,9 +6,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/url"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"ctjam/internal/core"
 	"ctjam/internal/experiments"
 )
 
@@ -28,6 +32,14 @@ type CoordinatorOptions struct {
 	// run completes, so workers mid-poll see a clean end instead of a
 	// connection error (default 2s).
 	Linger time.Duration
+	// NoSchemeShip disables fleet-wide scheme reuse: no train units are
+	// enumerated, no scheme store is kept, and every worker trains the
+	// schemes its points need locally (the pre-reuse behavior).
+	NoSchemeShip bool
+	// InlineSchemeLimit is the largest checkpoint, in bytes, inlined into
+	// dispatched point units (sparing the worker a GET /v1/scheme fetch).
+	// 0 selects the 256 KiB default; negative disables inlining entirely.
+	InlineSchemeLimit int
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -42,6 +54,9 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	}
 	if o.Linger <= 0 {
 		o.Linger = 2 * time.Second
+	}
+	if o.InlineSchemeLimit == 0 {
+		o.InlineSchemeLimit = 256 << 10
 	}
 	return o
 }
@@ -60,8 +75,12 @@ type unitState struct {
 // Coordinator owns the work-unit ledger of one distributed run: it hands out
 // leases in sorted-key order, re-leases units whose workers went silent,
 // fails fast once a unit exhausts its attempts, and collects the Counters
-// that Wait-then-ImportInto feeds back into a sweep-point cache. Safe for
-// concurrent use by any number of HTTP workers.
+// that Wait-then-ImportInto feeds back into a sweep-point cache. It also
+// holds the content-addressed scheme store of fleet-wide scheme reuse: each
+// unique scheme key is a train unit, its uploaded checkpoint gates the point
+// units evaluating that scheme, and claiming workers fetch (or receive
+// inline) the stored bytes instead of retraining. Safe for concurrent use by
+// any number of HTTP workers.
 type Coordinator struct {
 	opts CoordinatorOptions
 
@@ -71,26 +90,50 @@ type Coordinator struct {
 	remaining int
 	err       error
 	done      chan struct{}
+
+	// trainKeys marks the scheme keys that have a train unit; point units
+	// whose SchemeKey is in here are dispatched only once the key resolves
+	// in schemes. schemes/schemeFP hold the uploaded checkpoints by key.
+	trainKeys map[string]bool
+	schemes   map[string][]byte
+	schemeFP  map[string]string
 }
 
 // NewCoordinator builds the coordinator for the cache-backed points of the
-// given experiment ids under o. Ids without cache-backed points contribute
-// no units; a run whose ids produce none completes immediately.
+// given experiment ids under o, plus (unless NoSchemeShip) one train unit
+// per unique scheme key those points evaluate. Ids without cache-backed
+// points contribute no units; a run whose ids produce none completes
+// immediately.
 func NewCoordinator(o experiments.Options, ids []string, copts CoordinatorOptions) (*Coordinator, error) {
 	units, err := UnitsFor(o, ids)
 	if err != nil {
 		return nil, err
 	}
+	copts = copts.withDefaults()
+	if !copts.NoSchemeShip {
+		trains, err := TrainUnitsFor(o, ids)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, trains...)
+	}
 	c := &Coordinator{
-		opts:      copts.withDefaults(),
+		opts:      copts,
 		states:    make(map[string]*unitState, len(units)),
 		remaining: len(units),
 		done:      make(chan struct{}),
+		trainKeys: make(map[string]bool),
+		schemes:   make(map[string][]byte),
+		schemeFP:  make(map[string]string),
 	}
 	for _, u := range units {
 		c.order = append(c.order, u.Key)
 		c.states[u.Key] = &unitState{unit: u}
+		if u.Train {
+			c.trainKeys[u.Key] = true
+		}
 	}
+	sort.Strings(c.order)
 	if c.remaining == 0 {
 		close(c.done)
 	}
@@ -137,6 +180,27 @@ type resultResponse struct {
 	Done bool `json:"done,omitempty"`
 }
 
+// rejectResponse is the body of a structured 409: the coordinator refused
+// part of an upload because a recomputed key or fingerprint did not match
+// what the worker claimed.
+type rejectResponse struct {
+	Error        string   `json:"error"`
+	RejectedKeys []string `json:"rejected_keys,omitempty"`
+}
+
+// schemeUploadRequest carries one trained checkpoint to POST /v1/scheme.
+type schemeUploadRequest struct {
+	Worker      string `json:"worker"`
+	Key         string `json:"key"`
+	Fingerprint string `json:"fingerprint"`
+	Data        []byte `json:"data"`
+}
+
+type schemeUploadResponse struct {
+	OK   bool `json:"ok"`
+	Done bool `json:"done,omitempty"`
+}
+
 // assign leases up to max assignable units in sorted-key order.
 func (c *Coordinator) assign(max int) pollResponse {
 	c.mu.Lock()
@@ -154,6 +218,14 @@ func (c *Coordinator) assign(max int) pollResponse {
 		if st.done || st.leaseUntil.After(now) {
 			continue
 		}
+		// A point whose scheme has a train unit that is not resolved yet is
+		// blocked: skipping it (without burning an attempt) keeps the pull
+		// protocol deadlock-free — the train unit itself stays assignable,
+		// and its own lease/retry machinery bounds how long points can wait.
+		sk := st.unit.SchemeKey
+		if !st.unit.Train && sk != "" && c.trainKeys[sk] && c.schemes[sk] == nil {
+			continue
+		}
 		if st.attempts >= c.opts.MaxAttempts {
 			// A unit out of attempts with no result left to wait for: the
 			// run cannot complete.
@@ -163,7 +235,16 @@ func (c *Coordinator) assign(max int) pollResponse {
 		}
 		st.attempts++
 		st.leaseUntil = now.Add(c.opts.Lease)
-		units = append(units, st.unit)
+		u := st.unit
+		if blob := c.schemes[sk]; !u.Train && blob != nil {
+			// The scheme is resolved: always ship its fingerprint so the
+			// worker can verify installed bytes, and inline small blobs.
+			u.SchemeFP = c.schemeFP[sk]
+			if len(blob) <= c.opts.InlineSchemeLimit {
+				u.Scheme = blob
+			}
+		}
+		units = append(units, u)
 		if len(units) == max {
 			break
 		}
@@ -183,33 +264,52 @@ func (c *Coordinator) assign(max int) pollResponse {
 	return pollResponse{Units: units}
 }
 
-// record ingests one worker's results.
-func (c *Coordinator) record(results []UnitResult) resultResponse {
+// record ingests one worker's results. Known results are ingested even when
+// others in the same report are rejected; the returned rejected list names
+// the keys the coordinator refused (unknown keys — a worker claiming work it
+// was never handed — and malformed payloads), which the handler surfaces as
+// a structured 409.
+func (c *Coordinator) record(results []UnitResult) (resultResponse, []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var rejected []string
 	for _, r := range results {
 		st, ok := c.states[r.Key]
-		if !ok || st.done {
-			// Unknown key, or a duplicate from a retried lease: results are
-			// pure functions of the key, so the first one stands.
+		if !ok {
+			// Unknown key: the worker claims a unit this run never issued.
+			// Trusting it would let a drifted or confused worker inject
+			// results, so reject loudly instead of skipping silently.
+			rejected = append(rejected, r.Key)
 			continue
 		}
-		if r.Err != "" {
-			st.lastErr = r.Err
+		if st.done {
+			// A duplicate from a retried lease: results are pure functions
+			// of the key, so the first one stands.
+			continue
+		}
+		fail := func(msg string) {
+			st.lastErr = msg
 			st.leaseUntil = time.Time{} // release for immediate retry
 			if st.attempts >= c.opts.MaxAttempts {
-				c.fail(fmt.Errorf("dist: unit %s failed after %d attempts: %s", r.Key, st.attempts, r.Err))
+				c.fail(fmt.Errorf("dist: unit %s failed after %d attempts: %s", r.Key, st.attempts, msg))
 			}
+		}
+		if r.Err != "" {
+			fail(r.Err)
+			continue
+		}
+		if st.unit.Train {
+			// Train units complete through POST /v1/scheme, never through a
+			// bare success result: a worker reporting one has not uploaded
+			// the checkpoint the dependent points are waiting for.
+			fail("dist: train unit result without scheme upload")
+			rejected = append(rejected, r.Key)
 			continue
 		}
 		if st.unit.Field != nil && r.Field == nil {
 			// A field unit must come back with field stats; treat the
 			// malformed report like a failed attempt.
-			st.lastErr = "dist: field unit result missing field stats"
-			st.leaseUntil = time.Time{}
-			if st.attempts >= c.opts.MaxAttempts {
-				c.fail(fmt.Errorf("dist: unit %s failed after %d attempts: %s", r.Key, st.attempts, st.lastErr))
-			}
+			fail("dist: field unit result missing field stats")
 			continue
 		}
 		st.done = true
@@ -223,10 +323,92 @@ func (c *Coordinator) record(results []UnitResult) resultResponse {
 			close(c.done)
 		}
 	}
-	return resultResponse{OK: true, Done: c.finished()}
+	return resultResponse{OK: true, Done: c.finished()}, rejected
 }
 
-// Status is the /v1/status snapshot.
+// recordScheme ingests one trained checkpoint upload. The coordinator never
+// trusts the claimed identity: the fingerprint is recomputed from the bytes
+// and the blob must decode as a CTSC checkpoint before anything is stored.
+// A non-empty reject reason maps to a structured 409.
+func (c *Coordinator) recordScheme(req schemeUploadRequest) (schemeUploadResponse, string) {
+	fp := core.SchemeFingerprint(req.Data)
+	if fp != req.Fingerprint {
+		return schemeUploadResponse{}, fmt.Sprintf(
+			"scheme %s: claimed fingerprint %s, bytes hash to %s", req.Key, req.Fingerprint, fp)
+	}
+	if _, err := core.DecodeScheme(req.Data); err != nil {
+		return schemeUploadResponse{}, fmt.Sprintf("scheme %s: %v", req.Key, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.states[req.Key]
+	if !ok || !st.unit.Train {
+		return schemeUploadResponse{}, fmt.Sprintf("scheme %s: not a train unit of this run", req.Key)
+	}
+	if st.done {
+		if c.schemeFP[req.Key] == fp {
+			// Duplicate upload of identical bytes (a retried lease):
+			// idempotent success.
+			return schemeUploadResponse{OK: true, Done: c.finished()}, ""
+		}
+		// Training is deterministic, so two honest workers produce identical
+		// bytes for one key; a different fingerprint means corruption.
+		return schemeUploadResponse{}, fmt.Sprintf(
+			"scheme %s: conflicting upload: stored %s, got %s", req.Key, c.schemeFP[req.Key], fp)
+	}
+	c.schemes[req.Key] = append([]byte(nil), req.Data...)
+	c.schemeFP[req.Key] = fp
+	st.done = true
+	st.result = UnitResult{Key: req.Key}
+	c.remaining--
+	if c.remaining == 0 && c.err == nil {
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+	}
+	return schemeUploadResponse{OK: true, Done: c.finished()}, ""
+}
+
+// schemeBytes returns the stored checkpoint and fingerprint for a scheme
+// key, if resolved.
+func (c *Coordinator) schemeBytes(key string) ([]byte, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	blob, ok := c.schemes[key]
+	if !ok {
+		return nil, "", false
+	}
+	return blob, c.schemeFP[key], true
+}
+
+// UnitProgress is the per-unit-type progress breakdown of a Status: how many
+// units of one kind exist, how many are done, currently leased, or have
+// burned more than one attempt.
+type UnitProgress struct {
+	Total   int `json:"total"`
+	Done    int `json:"done"`
+	Leased  int `json:"leased"`
+	Retried int `json:"retried"`
+}
+
+func (p *UnitProgress) count(st *unitState, now time.Time) {
+	p.Total++
+	if st.done {
+		p.Done++
+	} else if st.leaseUntil.After(now) {
+		p.Leased++
+	}
+	if st.attempts > 1 {
+		p.Retried++
+	}
+}
+
+// Status is the /v1/status snapshot. Total/Done/Leased/Attempts aggregate
+// every unit; Train/Point/Field break the same progress down by unit type,
+// and SchemesStored/SchemeStoreBytes size the coordinator's checkpoint
+// store — see DESIGN.md for the JSON shape.
 type Status struct {
 	Total     int    `json:"total"`
 	Done      int    `json:"done"`
@@ -234,6 +416,13 @@ type Status struct {
 	Attempts  int    `json:"attempts"`
 	Failed    bool   `json:"failed"`
 	LastError string `json:"last_error,omitempty"`
+
+	Train UnitProgress `json:"train"`
+	Point UnitProgress `json:"point"`
+	Field UnitProgress `json:"field"`
+
+	SchemesStored    int   `json:"schemes_stored"`
+	SchemeStoreBytes int64 `json:"scheme_store_bytes"`
 }
 
 // Snapshot reports run progress.
@@ -252,12 +441,24 @@ func (c *Coordinator) Snapshot() Status {
 			s.Leased++
 		}
 		s.Attempts += st.attempts
+		switch {
+		case st.unit.Train:
+			s.Train.count(st, now)
+		case st.unit.Field != nil:
+			s.Field.count(st, now)
+		default:
+			s.Point.count(st, now)
+		}
+	}
+	s.SchemesStored = len(c.schemes)
+	for _, blob := range c.schemes {
+		s.SchemeStoreBytes += int64(len(blob))
 	}
 	return s
 }
 
 // Handler serves the coordinator protocol: POST /v1/poll, POST /v1/result,
-// GET /v1/status.
+// POST /v1/scheme, GET /v1/scheme/{key}, GET /v1/status.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/poll", func(w http.ResponseWriter, r *http.Request) {
@@ -272,7 +473,52 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, c.record(req.Results))
+		resp, rejected := c.record(req.Results)
+		if len(rejected) > 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(rejectResponse{
+				Error:        "dist: results rejected: recomputed identity does not match claimed keys",
+				RejectedKeys: rejected,
+			})
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/scheme", func(w http.ResponseWriter, r *http.Request) {
+		var req schemeUploadRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, reject := c.recordScheme(req)
+		if reject != "" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(rejectResponse{Error: "dist: " + reject, RejectedKeys: []string{req.Key}})
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/scheme/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, `{"error":"GET required"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		// Scheme keys contain '|' and '=' but the worker path-escapes them;
+		// unescape from the raw path so nothing in the key is mangled.
+		key, err := url.PathUnescape(strings.TrimPrefix(r.URL.EscapedPath(), "/v1/scheme/"))
+		if err != nil {
+			http.Error(w, `{"error":"bad scheme key"}`, http.StatusBadRequest)
+			return
+		}
+		blob, fp, ok := c.schemeBytes(key)
+		if !ok {
+			http.Error(w, `{"error":"scheme not resolved"}`, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Scheme-Fingerprint", fp)
+		w.Write(blob)
 	})
 	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Snapshot())
@@ -294,8 +540,11 @@ func (c *Coordinator) Wait(ctx context.Context) error {
 
 // ImportInto feeds every completed unit's result into cache under its
 // canonical key — Counters into the point cache, field stats into the
-// field-run cache — after which experiment runs sharing that cache read the
-// distributed results instead of recomputing them. Call after Wait succeeds.
+// field-run cache, stored scheme checkpoints into the scheme cache — after
+// which experiment runs sharing that cache read the distributed results
+// instead of recomputing them. The returned count covers point and field
+// results (the units UnitsFor enumerates); schemes ride along uncounted.
+// Call after Wait succeeds.
 func (c *Coordinator) ImportInto(cache *experiments.Cache) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -303,6 +552,14 @@ func (c *Coordinator) ImportInto(cache *experiments.Cache) int {
 	for _, k := range c.order {
 		st := c.states[k]
 		if !st.done {
+			continue
+		}
+		if st.unit.Train {
+			// Upload-time decoding guarantees the blob is importable; a key
+			// already resolved locally is a no-op by construction.
+			if blob := c.schemes[k]; blob != nil {
+				cache.ImportScheme(k, blob)
+			}
 			continue
 		}
 		if st.result.Field != nil {

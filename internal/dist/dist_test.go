@@ -1,9 +1,12 @@
 package dist
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -11,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"ctjam/internal/core"
 	"ctjam/internal/env"
 	"ctjam/internal/experiments"
 	"ctjam/internal/fault"
@@ -298,6 +302,298 @@ func TestEvaluateFieldKeyMismatch(t *testing.T) {
 	if !strings.Contains(results[0].Err, "key mismatch") {
 		t.Errorf("tampered field unit: Err = %q, want key mismatch", results[0].Err)
 	}
+}
+
+func TestTrainUnitsForSchemeKeys(t *testing.T) {
+	o := testOptions()
+	trains, err := TrainUnitsFor(o, experiments.IDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := UnitsFor(o, experiments.IDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]bool)
+	schemePoints := 0
+	for _, u := range points {
+		if u.SchemeKey != "" {
+			want[u.SchemeKey] = true
+			schemePoints++
+		}
+	}
+	if len(trains) != len(want) {
+		t.Errorf("%d train units for %d unique point scheme keys", len(trains), len(want))
+	}
+	// Scheme reuse must exist in the registry: strictly fewer trainings than
+	// scheme-backed points (table1-seeds replicas share per-mode schemes).
+	if len(trains) >= schemePoints {
+		t.Errorf("no scheme sharing: %d train units for %d scheme-backed points", len(trains), schemePoints)
+	}
+	for i, u := range trains {
+		if !u.Train {
+			t.Fatalf("train unit %s lacks Train flag", u.Key)
+		}
+		if i > 0 && trains[i-1].Key >= u.Key {
+			t.Fatalf("train units not sorted: %q then %q", trains[i-1].Key, u.Key)
+		}
+		if !want[u.Key] {
+			t.Errorf("train unit %s backs no point unit", u.Key)
+		}
+		cfg, err := u.Config.envConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Seed != 0 {
+			t.Errorf("train unit %s ships seed %d, want canonical 0", u.Key, cfg.Seed)
+		}
+		if got := experiments.SchemeKey(o, cfg); got != u.Key {
+			t.Errorf("train unit key %q does not recompute from its wire config (got %q)", u.Key, got)
+		}
+	}
+}
+
+// trainTestSchemes trains the checkpoint of every table1 train unit, giving
+// protocol tests real CTSC blobs to upload.
+func trainTestSchemes(t *testing.T, o experiments.Options) ([]Unit, [][]byte) {
+	t.Helper()
+	trains, err := TrainUnitsFor(o, []string{"table1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trains) < 2 {
+		t.Fatalf("table1 yielded %d train units, want 2", len(trains))
+	}
+	cache := experiments.NewCache()
+	blobs := make([][]byte, len(trains))
+	for i, u := range trains {
+		cfg, err := u.Config.envConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, blob, err := cache.TrainScheme(context.Background(), u.Opts.options(context.Background(), cache, 1), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != u.Key {
+			t.Fatalf("TrainScheme derived key %q, unit key %q", key, u.Key)
+		}
+		blobs[i] = blob
+	}
+	if core.SchemeFingerprint(blobs[0]) == core.SchemeFingerprint(blobs[1]) {
+		t.Fatal("the two table1 modes trained identical schemes; conflict tests would be vacuous")
+	}
+	return trains, blobs
+}
+
+func TestSchemeUploadVerification(t *testing.T) {
+	o := testOptions()
+	trains, blobs := trainTestSchemes(t, o)
+	coord, err := NewCoordinator(o, []string{"table1"}, CoordinatorOptions{Linger: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp0 := core.SchemeFingerprint(blobs[0])
+
+	if _, reject := coord.recordScheme(schemeUploadRequest{
+		Key: trains[0].Key, Fingerprint: "beef", Data: blobs[0],
+	}); !strings.Contains(reject, "hash to") {
+		t.Errorf("claimed-fingerprint mismatch not rejected: %q", reject)
+	}
+	junk := []byte{1, 2, 3, 4}
+	if _, reject := coord.recordScheme(schemeUploadRequest{
+		Key: trains[0].Key, Fingerprint: core.SchemeFingerprint(junk), Data: junk,
+	}); reject == "" {
+		t.Error("undecodable checkpoint accepted")
+	}
+	if _, reject := coord.recordScheme(schemeUploadRequest{
+		Key: "sc|bogus", Fingerprint: fp0, Data: blobs[0],
+	}); !strings.Contains(reject, "not a train unit") {
+		t.Errorf("unknown train key not rejected: %q", reject)
+	}
+	if snap := coord.Snapshot(); snap.Train.Done != 0 || snap.SchemesStored != 0 {
+		t.Fatalf("rejected uploads mutated the store: %+v", snap)
+	}
+
+	resp, reject := coord.recordScheme(schemeUploadRequest{Key: trains[0].Key, Fingerprint: fp0, Data: blobs[0]})
+	if reject != "" || !resp.OK {
+		t.Fatalf("valid upload refused: %+v %q", resp, reject)
+	}
+	// A retried lease re-uploads identical bytes: idempotent success.
+	if resp, reject = coord.recordScheme(schemeUploadRequest{Key: trains[0].Key, Fingerprint: fp0, Data: blobs[0]}); reject != "" || !resp.OK {
+		t.Errorf("duplicate identical upload refused: %+v %q", resp, reject)
+	}
+	// Different bytes under a resolved key can only be corruption.
+	if _, reject = coord.recordScheme(schemeUploadRequest{
+		Key: trains[0].Key, Fingerprint: core.SchemeFingerprint(blobs[1]), Data: blobs[1],
+	}); !strings.Contains(reject, "conflicting") {
+		t.Errorf("conflicting upload not rejected: %q", reject)
+	}
+	if snap := coord.Snapshot(); snap.Train.Done != 1 || snap.SchemesStored != 1 {
+		t.Errorf("store after one resolved scheme: %+v", snap)
+	}
+}
+
+func TestSchemeEndpointHTTP(t *testing.T) {
+	o := testOptions()
+	trains, blobs := trainTestSchemes(t, o)
+	coord, err := NewCoordinator(o, []string{"table1"}, CoordinatorOptions{Linger: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	getURL := srv.URL + "/v1/scheme/" + url.PathEscape(trains[0].Key)
+
+	resp, err := http.Get(getURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET of unresolved scheme: %s, want 404", resp.Status)
+	}
+
+	post := func(req schemeUploadRequest) *http.Response {
+		t.Helper()
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+"/v1/scheme", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	bad := post(schemeUploadRequest{Worker: "t", Key: trains[0].Key, Fingerprint: "beef", Data: blobs[0]})
+	if bad.StatusCode != http.StatusConflict {
+		t.Fatalf("tampered upload: %s, want 409", bad.Status)
+	}
+	var rej rejectResponse
+	if err := json.NewDecoder(bad.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if rej.Error == "" || !reflect.DeepEqual(rej.RejectedKeys, []string{trains[0].Key}) {
+		t.Errorf("409 body does not name the rejected key: %+v", rej)
+	}
+	good := post(schemeUploadRequest{
+		Worker: "t", Key: trains[0].Key,
+		Fingerprint: core.SchemeFingerprint(blobs[0]), Data: blobs[0],
+	})
+	if good.StatusCode != http.StatusOK {
+		t.Fatalf("valid upload: %s, want 200", good.Status)
+	}
+	good.Body.Close()
+
+	resp, err = http.Get(getURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET of resolved scheme: %s, want 200", resp.Status)
+	}
+	if got := resp.Header.Get("X-Scheme-Fingerprint"); got != core.SchemeFingerprint(blobs[0]) {
+		t.Errorf("fingerprint header %q does not match stored bytes", got)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), blobs[0]) {
+		t.Errorf("fetched scheme differs from uploaded bytes (%d vs %d)", buf.Len(), len(blobs[0]))
+	}
+}
+
+func TestResultUnknownKeyRejected(t *testing.T) {
+	o := testOptions()
+	coord, err := NewCoordinator(o, []string{"table1"}, CoordinatorOptions{
+		NoSchemeShip: true, Linger: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	poll := coord.assign(8)
+	if len(poll.Units) != 2 {
+		t.Fatalf("assigned %d units, want 2", len(poll.Units))
+	}
+	results := evaluate(context.Background(), poll.Units, experiments.NewCache(), 1)
+	results = append(results, UnitResult{Key: "pt|bogus", Counters: metrics.Counters{Slots: 1}})
+
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	body, err := json.Marshal(resultRequest{Worker: "t", Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/result", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("report with unknown key: %s, want 409", resp.Status)
+	}
+	var rej rejectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rej.RejectedKeys, []string{"pt|bogus"}) {
+		t.Errorf("rejected keys = %v, want [pt|bogus]", rej.RejectedKeys)
+	}
+	// The two legitimate results in the same report were still ingested.
+	if st := coord.Snapshot(); st.Done != 2 || st.Failed {
+		t.Errorf("known results not ingested alongside the rejection: %+v", st)
+	}
+}
+
+func TestMergeSpoolsSchemeVerification(t *testing.T) {
+	o := testOptions()
+	trains, blobs := trainTestSchemes(t, o)
+	key := trains[0].Key
+	res := func(keys ...string) []UnitResult {
+		out := make([]UnitResult, len(keys))
+		for i, k := range keys {
+			out[i] = UnitResult{Key: k, Counters: metrics.Counters{Slots: 1}}
+		}
+		return out
+	}
+
+	t.Run("corrupt fingerprint", func(t *testing.T) {
+		dir := t.TempDir()
+		writeSpool(t, dir, Spool{Shard: 0, Shards: 1, Results: res("a"), Schemes: []SpoolScheme{
+			{Key: key, Fingerprint: "beef", Data: blobs[0]},
+		}})
+		_, err := MergeSpools(dir, experiments.NewCache(), []Unit{{Key: "a"}})
+		if err == nil || !strings.Contains(err.Error(), "hash to") {
+			t.Errorf("err = %v, want fingerprint mismatch", err)
+		}
+	})
+	t.Run("undecodable scheme", func(t *testing.T) {
+		dir := t.TempDir()
+		junk := []byte{9, 9, 9}
+		writeSpool(t, dir, Spool{Shard: 0, Shards: 1, Results: res("a"), Schemes: []SpoolScheme{
+			{Key: key, Fingerprint: core.SchemeFingerprint(junk), Data: junk},
+		}})
+		if _, err := MergeSpools(dir, experiments.NewCache(), []Unit{{Key: "a"}}); err == nil {
+			t.Error("spool with undecodable scheme bytes merged cleanly")
+		}
+	})
+	t.Run("cross-shard conflict", func(t *testing.T) {
+		dir := t.TempDir()
+		writeSpool(t, dir, Spool{Shard: 0, Shards: 2, Results: res("a"), Schemes: []SpoolScheme{
+			{Key: key, Fingerprint: core.SchemeFingerprint(blobs[0]), Data: blobs[0]},
+		}})
+		writeSpool(t, dir, Spool{Shard: 1, Shards: 2, Results: res("b"), Schemes: []SpoolScheme{
+			{Key: key, Fingerprint: core.SchemeFingerprint(blobs[1]), Data: blobs[1]},
+		}})
+		_, err := MergeSpools(dir, experiments.NewCache(), []Unit{{Key: "a"}, {Key: "b"}})
+		if err == nil || !strings.Contains(err.Error(), "conflicts with another shard") {
+			t.Errorf("err = %v, want cross-shard scheme conflict", err)
+		}
+	})
 }
 
 // TestCoordinatorRejectsFieldResultWithoutStats checks a field unit reported

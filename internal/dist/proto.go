@@ -220,15 +220,32 @@ func (r WireRunStats) runStats() iot.RunStats {
 	}
 }
 
-// Unit is one distributable work item: either a sweep point (Config set) or
-// a whole field-simulator replica run (Field set), plus the options pinning
-// its cache key and the coordinator's canonical key for it. Exactly one of
-// Config/Field is meaningful; field units are recognizable by Field != nil.
+// Unit is one distributable work item: a sweep point (Config set), a whole
+// field-simulator replica run (Field set), or a scheme training (Config set,
+// Train true), plus the options pinning its cache key and the coordinator's
+// canonical key for it. Exactly one of Config/Field is meaningful; field
+// units are recognizable by Field != nil, train units by Train.
 type Unit struct {
 	Key    string         `json:"key"`
 	Opts   WireOptions    `json:"opts"`
 	Config WireConfig     `json:"config,omitempty"`
 	Field  *WireFieldSpec `json:"field,omitempty"`
+
+	// Train marks a scheme-training unit: the worker trains/solves the
+	// scheme the seed-zeroed Config selects under Opts and uploads its CTSC
+	// checkpoint via POST /v1/scheme instead of evaluating anything.
+	Train bool `json:"train,omitempty"`
+	// SchemeKey, on point units, is the canonical key of the scheme the
+	// point evaluates — the Key of its train unit. Point units are only
+	// dispatched once that key is resolved in the coordinator scheme store.
+	SchemeKey string `json:"scheme_key,omitempty"`
+	// Scheme inlines the resolved checkpoint into a dispatched point unit
+	// when it is small (see CoordinatorOptions.InlineSchemeLimit), sparing
+	// the worker a fetch round-trip; SchemeFP is its fingerprint, set on
+	// every dispatched point whose scheme is resolved so the worker can
+	// verify whatever bytes it installs.
+	Scheme   []byte `json:"scheme,omitempty"`
+	SchemeFP string `json:"scheme_fp,omitempty"`
 }
 
 // UnitResult reports one evaluated unit: its Counters (sweep points) or its
@@ -262,11 +279,49 @@ func UnitsFor(o experiments.Options, ids []string) ([]Unit, error) {
 		if err != nil {
 			return nil, err
 		}
-		units = append(units, Unit{Key: sp.Key, Opts: wo, Config: wc})
+		units = append(units, Unit{
+			Key:       sp.Key,
+			Opts:      wo,
+			Config:    wc,
+			SchemeKey: experiments.SchemeKey(o, sp.Config),
+		})
 	}
 	for _, fs := range fields {
 		ws := wireFieldSpec(fs.Spec)
 		units = append(units, Unit{Key: fs.Key, Opts: wo, Field: &ws})
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].Key < units[j].Key })
+	return units, nil
+}
+
+// TrainUnitsFor enumerates one train unit per unique scheme key of the given
+// experiment ids under o, sorted by key. The unit's Key is the scheme cache
+// key itself ("sc|..."), and its Config is the seed-zeroed canonical form:
+// scheme construction never reads the evaluation seed, so every point config
+// sharing a scheme reduces to the same wire payload and every process derives
+// an identical train list. Coordinators append these to the work list so each
+// unique scheme is trained exactly once fleet-wide.
+func TrainUnitsFor(o experiments.Options, ids []string) ([]Unit, error) {
+	specs, err := experiments.CachePoints(o, ids)
+	if err != nil {
+		return nil, err
+	}
+	wo := wireOptions(o)
+	seen := make(map[string]bool, len(specs))
+	var units []Unit
+	for _, sp := range specs {
+		key := experiments.SchemeKey(o, sp.Config)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cfg := sp.Config
+		cfg.Seed = 0
+		wc, err := wireConfig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, Unit{Key: key, Opts: wo, Config: wc, Train: true})
 	}
 	sort.Slice(units, func(i, j int) bool { return units[i].Key < units[j].Key })
 	return units, nil

@@ -9,16 +9,29 @@ import (
 	"path/filepath"
 
 	"ctjam/internal/atomicfile"
+	"ctjam/internal/core"
 	"ctjam/internal/experiments"
 )
 
 // Spool is the on-disk exchange format of static (networkless) sharding: one
 // shard's results, tagged with its place in the shard set so a merge can
-// verify it is combining a complete, consistent partition.
+// verify it is combining a complete, consistent partition. Schemes carries
+// the checkpoints of every scheme the shard trained, so a merge can account
+// for fleet-wide training work (and reuse the schemes) without retraining.
 type Spool struct {
-	Shard   int          `json:"shard"`
-	Shards  int          `json:"shards"`
-	Results []UnitResult `json:"results"`
+	Shard   int           `json:"shard"`
+	Shards  int           `json:"shards"`
+	Results []UnitResult  `json:"results"`
+	Schemes []SpoolScheme `json:"schemes,omitempty"`
+}
+
+// SpoolScheme is one persisted scheme checkpoint: its canonical cache key,
+// the CTSC bytes, and their fingerprint (recomputed and verified on merge,
+// so a corrupted spool cannot install a wrong scheme under a healthy key).
+type SpoolScheme struct {
+	Key         string `json:"key"`
+	Fingerprint string `json:"fingerprint"`
+	Data        []byte `json:"data"`
 }
 
 // SpoolName is the canonical spool filename of one shard, used by the
@@ -57,13 +70,21 @@ func RunShard(ctx context.Context, o experiments.Options, ids []string, shard, s
 	if err != nil {
 		return 0, err
 	}
-	results := evaluate(ctx, mine, experiments.NewCache(), o.Workers)
+	cache := experiments.NewCache()
+	results := evaluate(ctx, mine, cache, o.Workers)
 	for _, r := range results {
 		if r.Err != "" {
 			return 0, fmt.Errorf("dist: shard %d/%d: unit %s: %s", shard, shards, r.Key, r.Err)
 		}
 	}
 	sp := Spool{Shard: shard, Shards: shards, Results: results}
+	for _, sb := range cache.ExportSchemes() {
+		sp.Schemes = append(sp.Schemes, SpoolScheme{
+			Key:         sb.Key,
+			Fingerprint: core.SchemeFingerprint(sb.Data),
+			Data:        sb.Data,
+		})
+	}
 	err = atomicfile.WriteFile(path, 0o644, func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -90,6 +111,7 @@ func MergeSpools(dir string, cache *experiments.Cache, units []Unit) (int, error
 	shards, firstPath := 0, ""
 	seen := make(map[int]string)
 	imported := make(map[string]bool)
+	schemeFPs := make(map[string]string)
 	for _, path := range matches {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -113,6 +135,19 @@ func MergeSpools(dir string, cache *experiments.Cache, units []Unit) (int, error
 			return 0, fmt.Errorf("dist: %s: shard index %d out of range [0,%d)", path, sp.Shard, shards)
 		}
 		seen[sp.Shard] = path
+		for _, s := range sp.Schemes {
+			if fp := core.SchemeFingerprint(s.Data); fp != s.Fingerprint {
+				return 0, fmt.Errorf("dist: %s: scheme %s: declared fingerprint %s, bytes hash to %s",
+					path, s.Key, s.Fingerprint, fp)
+			}
+			if prev, dup := schemeFPs[s.Key]; dup && prev != s.Fingerprint {
+				return 0, fmt.Errorf("dist: %s: scheme %s conflicts with another shard's checkpoint", path, s.Key)
+			}
+			schemeFPs[s.Key] = s.Fingerprint
+			if err := cache.ImportScheme(s.Key, s.Data); err != nil {
+				return 0, fmt.Errorf("dist: %s: scheme %s: %w", path, s.Key, err)
+			}
+		}
 		for _, r := range sp.Results {
 			if r.Err != "" {
 				return 0, fmt.Errorf("dist: %s: unit %s carries error: %s", path, r.Key, r.Err)

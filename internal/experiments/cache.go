@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -49,6 +50,9 @@ type Cache struct {
 
 	fieldHits   atomic.Int64
 	fieldMisses atomic.Int64
+
+	schemeBuilds  atomic.Int64
+	schemeImports atomic.Int64
 }
 
 // NewCache returns an empty cache, ready to be shared across experiment runs
@@ -70,6 +74,13 @@ type CacheStats struct {
 	PointMisses int64
 	// Schemes counts unique trained/solved schemes held.
 	Schemes int
+	// SchemeBuilds counts schemes this cache trained or solved locally;
+	// SchemeImports counts schemes installed from an external checkpoint
+	// (a coordinator's scheme store or a merged spool) instead of training.
+	// Fleet-wide, the sum of SchemeBuilds across workers equals the number
+	// of unique scheme keys when checkpoint distribution works.
+	SchemeBuilds  int64
+	SchemeImports int64
 	// FieldHits / FieldMisses count the same for memoized field-simulator
 	// runs (fig10/fig11/scale share their runs through this layer).
 	FieldHits   int64
@@ -82,11 +93,13 @@ func (c *Cache) Stats() CacheStats {
 	schemes := len(c.schemes)
 	c.mu.Unlock()
 	return CacheStats{
-		PointHits:   c.hits.Load(),
-		PointMisses: c.misses.Load(),
-		Schemes:     schemes,
-		FieldHits:   c.fieldHits.Load(),
-		FieldMisses: c.fieldMisses.Load(),
+		PointHits:     c.hits.Load(),
+		PointMisses:   c.misses.Load(),
+		Schemes:       schemes,
+		SchemeBuilds:  c.schemeBuilds.Load(),
+		SchemeImports: c.schemeImports.Load(),
+		FieldHits:     c.fieldHits.Load(),
+		FieldMisses:   c.fieldMisses.Load(),
 	}
 }
 
@@ -98,10 +111,14 @@ type pointEntry struct {
 	err  error
 }
 
-// schemeEntry is one memoized trained/solved scheme, same protocol.
+// schemeEntry is one memoized trained/solved scheme, same protocol. blob is
+// the scheme's canonical CTSC checkpoint (see internal/core DecodeScheme):
+// locally built schemes keep the bytes they were rebuilt from, imported ones
+// the bytes they were installed from, so any resolved entry can be exported.
 type schemeEntry struct {
 	done chan struct{}
 	s    *policy.Scheme
+	blob []byte
 	err  error
 }
 
@@ -126,8 +143,10 @@ func (c *Cache) claimPoint(key string) (*pointEntry, bool) {
 
 // scheme returns the memoized scheme for key, building it on first request.
 // Concurrent requests for an in-flight key block until the build finishes or
-// their context ends — a dead builder elsewhere must not wedge waiters.
-func (c *Cache) scheme(ctx context.Context, key string, build func() (*policy.Scheme, error)) (*policy.Scheme, error) {
+// their context ends — a dead builder elsewhere must not wedge waiters. The
+// build also yields the scheme's canonical checkpoint bytes, kept alongside
+// the entry for export.
+func (c *Cache) scheme(ctx context.Context, key string, build func() (*policy.Scheme, []byte, error)) (*policy.Scheme, error) {
 	c.mu.Lock()
 	e, ok := c.schemes[key]
 	if !ok {
@@ -136,7 +155,8 @@ func (c *Cache) scheme(ctx context.Context, key string, build func() (*policy.Sc
 	}
 	c.mu.Unlock()
 	if !ok {
-		e.s, e.err = build()
+		c.schemeBuilds.Add(1)
+		e.s, e.blob, e.err = build()
 		close(e.done)
 		return e.s, e.err
 	}
@@ -146,6 +166,123 @@ func (c *Cache) scheme(ctx context.Context, key string, build func() (*policy.Sc
 	case <-ctx.Done():
 		return nil, fmt.Errorf("experiments: waiting for in-flight scheme: %w", ctx.Err())
 	}
+}
+
+// SchemeBytes returns the canonical checkpoint of a resolved scheme entry,
+// or false if the key is unknown, still in flight, or failed. The returned
+// slice is the cache's own copy and must not be mutated.
+func (c *Cache) SchemeBytes(key string) ([]byte, bool) {
+	c.mu.Lock()
+	e, ok := c.schemes[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+	default:
+		return nil, false
+	}
+	if e.err != nil || e.blob == nil {
+		return nil, false
+	}
+	return e.blob, true
+}
+
+// ImportScheme installs an externally trained scheme checkpoint under its
+// canonical key (see SchemeKey), so points evaluating that scheme skip
+// training. The blob is decoded and rebuilt before the entry is claimed, so
+// a corrupt checkpoint never poisons the cache. Scheme construction is a
+// pure function of the key, so importing an already resolved or in-flight
+// key is a no-op: the existing entry is identical by construction.
+func (c *Cache) ImportScheme(key string, blob []byte) error {
+	ck, err := core.DecodeScheme(blob)
+	if err != nil {
+		return err
+	}
+	s, err := ck.Scheme()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	e, ok := c.schemes[key]
+	if !ok {
+		e = &schemeEntry{done: make(chan struct{})}
+		c.schemes[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		return nil
+	}
+	c.schemeImports.Add(1)
+	e.s = s
+	e.blob = append([]byte(nil), blob...)
+	close(e.done)
+	return nil
+}
+
+// SchemeBlob is one exported scheme checkpoint: the canonical cache key and
+// the CTSC bytes resolving it.
+type SchemeBlob struct {
+	Key  string
+	Data []byte
+}
+
+// ExportSchemes returns every resolved scheme checkpoint the cache holds,
+// sorted by key. Static-mode spool shards persist these so MergeSpools can
+// account for fleet-wide training work.
+func (c *Cache) ExportSchemes() []SchemeBlob {
+	c.mu.Lock()
+	entries := make(map[string]*schemeEntry, len(c.schemes))
+	for k, e := range c.schemes {
+		entries[k] = e
+	}
+	c.mu.Unlock()
+	var out []SchemeBlob
+	for k, e := range entries {
+		select {
+		case <-e.done:
+		default:
+			continue
+		}
+		if e.err != nil || e.blob == nil {
+			continue
+		}
+		out = append(out, SchemeBlob{Key: k, Data: e.blob})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// SchemeKey returns the canonical scheme cache key of one sweep point under
+// o, applying the same option defaulting Run does. This is the unit key of
+// distributed train units: the coordinator derives it from CachePoints specs
+// and workers recompute it from the wire-decoded pair before training.
+func SchemeKey(o Options, cfg env.Config) string {
+	return schemeKey(o.withFloor(), cfg)
+}
+
+// TrainScheme trains (or solves) the scheme one sweep point evaluates and
+// returns its canonical key and checkpoint bytes. The result is installed in
+// the cache, so a worker that later evaluates points of the same scheme
+// reuses it without a fetch. If the key is already resolved — trained
+// earlier, or imported — the held checkpoint is returned without retraining.
+func (c *Cache) TrainScheme(ctx context.Context, o Options, cfg env.Config) (key string, blob []byte, err error) {
+	o = o.withFloor()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	key = schemeKey(o, cfg)
+	if _, err := c.scheme(ctx, key, func() (*policy.Scheme, []byte, error) {
+		return buildScheme(o, cfg)
+	}); err != nil {
+		return key, nil, err
+	}
+	blob, ok := c.SchemeBytes(key)
+	if !ok {
+		return key, nil, fmt.Errorf("experiments: scheme %s resolved without checkpoint bytes", key)
+	}
+	return key, blob, nil
 }
 
 // waitPoint blocks until a point entry is filled or ctx ends. A filled entry
@@ -188,7 +325,7 @@ func (c *Cache) ImportPoint(key string, counters metrics.Counters) {
 // pointKey is the canonical fingerprint of one sweep point: everything that
 // determines its Counters. cfg.Fingerprint covers the environment (including
 // the evaluation seed); Engine/TrainSlots/Seed pin the scheme construction
-// (see rlScheme) and Slots the evaluation length.
+// (see schemeCheckpoint) and Slots the evaluation length.
 func pointKey(o Options, cfg env.Config) string {
 	return fmt.Sprintf("pt|%s|eng=%d|fast=%t|train=%d|seed=%d|slots=%d",
 		cfg.Fingerprint(), int(o.Engine), o.Fast32, o.TrainSlots, o.Seed, o.Slots)
@@ -205,10 +342,11 @@ func schemeKey(o Options, cfg env.Config) string {
 		cfg.Fingerprint(), int(o.Engine), o.Fast32, o.TrainSlots, o.Seed)
 }
 
-// rlScheme builds the engine-selected batched scheme of the paper's "RL FH"
-// defense for one environment configuration, training the DQN if the engine
-// asks for it. This is the (expensive) compute memoized by Cache.scheme.
-func rlScheme(o Options, cfg env.Config) (*policy.Scheme, error) {
+// schemeCheckpoint trains/solves the engine-selected scheme of the paper's
+// "RL FH" defense for one environment configuration and captures it as a
+// distributable CTSC checkpoint. This is the expensive compute memoized by
+// Cache.scheme and deduplicated fleet-wide by distributed train units.
+func schemeCheckpoint(o Options, cfg env.Config) (*core.SchemeCheckpoint, error) {
 	switch o.Engine {
 	case EngineDQN:
 		acfg := core.DefaultDQNAgentConfig(cfg.Channels, len(cfg.TxPowers), cfg.SweepWidth)
@@ -227,23 +365,44 @@ func rlScheme(o Options, cfg env.Config) (*policy.Scheme, error) {
 		if _, err := agent.Train(trainEnv, o.TrainSlots); err != nil {
 			return nil, err
 		}
-		if o.Fast32 {
-			return agent.SchemeFast32()
-		}
-		return agent.Scheme()
+		return agent.SchemeCheckpoint(o.Fast32)
 	case EngineMDP:
 		model, err := core.NewModel(core.ParamsFromEnv(cfg))
 		if err != nil {
 			return nil, err
 		}
-		agent, err := core.NewMDPAgent(model, nil, cfg.Channels, cfg.SweepWidth)
+		sol, err := model.Solve(0.9)
 		if err != nil {
 			return nil, err
 		}
-		return agent.Scheme(), nil
+		return core.NewMDPSchemeCheckpoint("MDP*", model, sol.Policy, cfg.Channels, cfg.SweepWidth)
 	default:
 		return nil, fmt.Errorf("experiments: unknown engine %v", o.Engine)
 	}
+}
+
+// buildScheme trains the scheme and returns it together with its canonical
+// checkpoint bytes. The returned scheme is rebuilt from the encoded blob —
+// not taken from the live trainer — so a local trainer and a remote worker
+// installing the same checkpoint run byte-identical schemes by construction.
+func buildScheme(o Options, cfg env.Config) (*policy.Scheme, []byte, error) {
+	ck, err := schemeCheckpoint(o, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	blob, err := ck.Encode()
+	if err != nil {
+		return nil, nil, err
+	}
+	dec, err := core.DecodeScheme(blob)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: checkpoint does not round-trip: %w", err)
+	}
+	s, err := dec.Scheme()
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, blob, nil
 }
 
 // runPoints evaluates one Table I counter set per config through the shared
@@ -310,8 +469,8 @@ func runPoints(o Options, cfgs []env.Config, label func(i int) string) ([]metric
 				close(e.done)
 			}
 		}
-		scheme, err := cache.scheme(ctx, order[g], func() (*policy.Scheme, error) {
-			return rlScheme(o, cfgs[claimed[0]])
+		scheme, err := cache.scheme(ctx, order[g], func() (*policy.Scheme, []byte, error) {
+			return buildScheme(o, cfgs[claimed[0]])
 		})
 		if err != nil {
 			fill(nil, err)

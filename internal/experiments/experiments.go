@@ -257,6 +257,11 @@ func buildRegistry() []entry {
 		runner: runTable1,
 		points: table1Configs,
 	})
+	es = append(es, entry{
+		id: "table1-seeds", desc: "Table I metrics with spread over evaluation seeds",
+		runner: runTable1Seeds,
+		points: table1SeedConfigs,
+	})
 	add("train", "DQN training statistics (§IV-B)", runTrain)
 	return es
 }

@@ -32,9 +32,10 @@ func PointKey(o Options, cfg env.Config) string {
 
 // CachePoints enumerates the unique cache-backed sweep points the given
 // experiment ids evaluate under o, sorted by Key. With the full id set this
-// is the "-id all" work list: 78 unique points backing the 20 Figs. 6-8
+// is the "-id all" work list: 88 unique points backing the 20 Figs. 6-8
 // metric panels plus Table I (which coincides with the L_J=100 /
-// lower-bound-6 sweep points and deduplicates against them). Ids whose
+// lower-bound-6 sweep points and deduplicates against them) and its
+// seed-replicated variant table1-seeds. Ids whose
 // compute is not cache-backed (fig2b, fig9-10, field, stealth, train)
 // contribute nothing; unknown ids return ErrUnknownExperiment.
 //

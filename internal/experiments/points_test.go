@@ -29,8 +29,8 @@ func TestCachePointsSortedAndDeduplicated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 78 {
-		t.Errorf("full id set yields %d unique points, want 78", len(all))
+	if len(all) != 88 {
+		t.Errorf("full id set yields %d unique points, want 88", len(all))
 	}
 	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Key < all[j].Key }) {
 		t.Error("CachePoints output is not sorted by key")
@@ -159,9 +159,9 @@ func TestSchemeWaitContextCancel(t *testing.T) {
 	cache := NewCache()
 	release := make(chan struct{})
 	defer close(release)
-	go cache.scheme(context.Background(), "stuck-key", func() (*policy.Scheme, error) {
+	go cache.scheme(context.Background(), "stuck-key", func() (*policy.Scheme, []byte, error) {
 		<-release
-		return nil, errors.New("never used")
+		return nil, nil, errors.New("never used")
 	})
 	// Wait until the builder holds the claim.
 	for i := 0; cache.Stats().Schemes == 0; i++ {
@@ -172,9 +172,9 @@ func TestSchemeWaitContextCancel(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	_, err := cache.scheme(ctx, "stuck-key", func() (*policy.Scheme, error) {
+	_, err := cache.scheme(ctx, "stuck-key", func() (*policy.Scheme, []byte, error) {
 		t.Error("second builder invoked for an in-flight key")
-		return nil, nil
+		return nil, nil, nil
 	})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("waiting on a stuck scheme build: err = %v, want deadline exceeded", err)

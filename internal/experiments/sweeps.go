@@ -194,6 +194,30 @@ func table1Configs(o Options) []env.Config {
 	return cfgs
 }
 
+// table1SeedCount is the number of evaluation seeds table1-seeds replicates
+// the default-parameter points over.
+const table1SeedCount = 6
+
+// table1SeedConfigs builds the seed-replicated default-parameter points: one
+// config per (jammer mode, evaluation seed), modes-major. Replica s of a
+// mode evaluates seed o.Seed+s, so replica 0 coincides with table1's point
+// and deduplicates against it. All replicas of one mode share a scheme key —
+// scheme construction never reads the evaluation seed — which makes this the
+// registry's scheme-reuse workload: a distributed run trains each mode's
+// scheme once fleet-wide and ships the checkpoint to every replica point.
+func table1SeedConfigs(o Options) []env.Config {
+	cfgs := make([]env.Config, 0, len(sweepModes)*table1SeedCount)
+	for _, md := range sweepModes {
+		for s := 0; s < table1SeedCount; s++ {
+			cfg := env.DefaultConfig()
+			cfg.JammerMode = md.mode
+			cfg.Seed = o.Seed + int64(s)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
 // sweepRunner builds the Runner for one (sweep, metric) panel of Figs. 6-8.
 // Every (mode, x) point builds its own env.Config with an explicit seed; the
 // points are evaluated through runPoints, which deduplicates them against
@@ -258,6 +282,52 @@ func runTable1(o Options) (*Result, error) {
 				100 * c.ST(), 100 * c.AH(), 100 * c.SH(), 100 * c.AP(), 100 * c.SP(),
 			},
 		})
+	}
+	return res, nil
+}
+
+// runTable1Seeds evaluates the Table I metrics over table1SeedCount
+// evaluation seeds per jammer mode and reports, for each mode, the mean and
+// the half-spread (max-min)/2 across seeds — Table I with error bars. Every
+// replica of one mode reuses the same trained scheme, so the marginal cost of
+// a seed is evaluation only; distributed runs ship each mode's checkpoint
+// once instead of retraining it per point.
+func runTable1Seeds(o Options) (*Result, error) {
+	res := &Result{
+		ID:        "table1-seeds",
+		Title:     fmt.Sprintf("Table I metrics over %d evaluation seeds", table1SeedCount),
+		XLabel:    "metric",
+		YLabel:    "value (%)",
+		XTicks:    []string{"ST", "AH", "SH", "AP", "SP"},
+		PaperNote: "Table I defines ST/AH/SH/AP/SP; seed replication bounds the run-to-run spread of §IV-C's numbers",
+	}
+	counters, err := runPoints(o, table1SeedConfigs(o), func(p int) string {
+		return fmt.Sprintf("table1 mode=%v seed+%d",
+			sweepModes[p/table1SeedCount].mode, p%table1SeedCount)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, md := range sweepModes {
+		mean := Series{Name: md.name + " (mean)", X: []float64{0, 1, 2, 3, 4}, Y: make([]float64, 5)}
+		spread := Series{Name: md.name + " (spread)", X: []float64{0, 1, 2, 3, 4}, Y: make([]float64, 5)}
+		for m := 0; m < 5; m++ {
+			lo, hi, sum := 0.0, 0.0, 0.0
+			for s := 0; s < table1SeedCount; s++ {
+				c := counters[mi*table1SeedCount+s]
+				v := 100 * []float64{c.ST(), c.AH(), c.SH(), c.AP(), c.SP()}[m]
+				if s == 0 || v < lo {
+					lo = v
+				}
+				if s == 0 || v > hi {
+					hi = v
+				}
+				sum += v
+			}
+			mean.Y[m] = sum / float64(table1SeedCount)
+			spread.Y[m] = (hi - lo) / 2
+		}
+		res.Series = append(res.Series, mean, spread)
 	}
 	return res, nil
 }
