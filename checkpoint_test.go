@@ -123,6 +123,55 @@ func TestCheckpointLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// Non-default attackers carry their own strategy state through checkpoints
+// (the v2 jammer-state section): a nested budget-over-reactive jammer must
+// resume bit-identically, proving the generic encode/decode round-trips
+// mid-cycle strategy state rather than silently restarting the attacker.
+func TestCheckpointResumeWithJammerZoo(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JammerSpec = "budget:duty=0.5,burst=2,over=(reactive:delay=2,miss=0.1)"
+	const slots = 1500
+	full, err := TrainDQNWithOptions(cfg, slots, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "train.ckpt")
+	// Stop off any checkpoint multiple so the resumed attacker state comes
+	// from the StopAfter snapshot, mid burst-window.
+	if _, err := TrainDQNWithOptions(cfg, slots, TrainOptions{
+		Checkpoint: ckpt, CheckpointEvery: 400, StopAfter: 900,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := TrainDQNWithOptions(cfg, slots, TrainOptions{
+		Checkpoint: ckpt, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := full.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("zoo-jammer resume differs from uninterrupted run")
+	}
+	m1, err := Evaluate(cfg, SchemeRL, full, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Evaluate(cfg, SchemeRL, resumed, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatalf("metrics diverge: full %+v resumed %+v", m1, m2)
+	}
+}
+
 // Faulted training must checkpoint/resume identically too: injectors are
 // pure functions of (seed, slot), so they need no state of their own.
 func TestCheckpointResumeWithFaults(t *testing.T) {

@@ -7,9 +7,12 @@
 // Usage:
 //
 //	ctjam-field [-slots 400] [-slot-duration 3s] [-jam-slot 3s]
-//	            [-nodes 3] [-mode max|random] [-seed 1]
+//	            [-nodes 3] [-mode max|random] [-jammer SPEC] [-seed 1]
 //	            [-clusters 1] [-nodes-per-cluster 0] [-workers 0]
 //	            [-cpuprofile f] [-memprofile f] [-trace f]
+//
+// -jammer selects the attacker's hopping strategy from the jammer zoo (see
+// the jammer package spec grammar); empty keeps the paper's §II-C sweeper.
 package main
 
 import (
@@ -37,6 +40,7 @@ func run(args []string) (err error) {
 		jamSlot  = fs.Duration("jam-slot", 0, "jammer slot duration (default: same as Tx)")
 		nodes    = fs.Int("nodes", 3, "peripheral node count")
 		mode     = fs.String("mode", "max", "jammer power mode")
+		jam      = fs.String("jammer", "", "jammer strategy spec (empty = the paper's sweeper)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		useDQN   = fs.Bool("dqn", false, "use a trained DQN instead of the exact MDP policy")
 		dqnSlots = fs.Int("dqn-train", 30000, "DQN training slots when -dqn is set")
@@ -55,6 +59,7 @@ func run(args []string) (err error) {
 
 	cfg := ctjam.DefaultConfig()
 	cfg.Jammer = ctjam.JammerMode(*mode)
+	cfg.JammerSpec = *jam
 	cfg.Seed = *seed
 
 	var (

@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	ctjam-sim [-slots 20000] [-mode max|random] [-lj 100] [-lh 50]
-//	          [-schemes mdp,passive,random,static] [-workers N] [-seed 1]
-//	          [-fault SPEC]
+//	ctjam-sim [-slots 20000] [-mode max|random] [-jammer SPEC] [-lj 100]
+//	          [-lh 50] [-schemes mdp,passive,random,static] [-workers N]
+//	          [-seed 1] [-fault SPEC]
 //
 // Schemes are independent (each builds its own policy and environment), so
 // they fan out over -workers goroutines; rows still print in the requested
 // order and are bit-identical at any worker count.
+//
+// -jammer selects the attacker's hopping strategy from the jammer zoo, e.g.
+// "reactive:delay=2,miss=0.1", "adaptive", or "budget:duty=0.5,over=(sweep)"
+// (see the jammer package for the grammar); empty keeps the paper's §II-C
+// sweeper.
 //
 // -fault injects deterministic channel faults during evaluation, e.g.
 // "burst:p=0.1,power=30;ack:p=0.02" (see the fault package for the grammar).
@@ -46,6 +51,7 @@ func simulate(args []string) ([]schemeRow, error) {
 	var (
 		slots   = fs.Int("slots", 20000, "evaluation slots")
 		mode    = fs.String("mode", "max", "jammer power mode: 'max' or 'random'")
+		jam     = fs.String("jammer", "", "jammer strategy spec (empty = the paper's sweeper)")
 		lj      = fs.Float64("lj", 100, "loss of a successful jam (L_J)")
 		lh      = fs.Float64("lh", 50, "loss of a frequency hop (L_H)")
 		schemes = fs.String("schemes", "mdp,passive,random,static", "comma-separated schemes")
@@ -59,6 +65,7 @@ func simulate(args []string) ([]schemeRow, error) {
 
 	cfg := ctjam.DefaultConfig()
 	cfg.Jammer = ctjam.JammerMode(*mode)
+	cfg.JammerSpec = *jam
 	cfg.LossJam = *lj
 	cfg.LossHop = *lh
 	cfg.Seed = *seed

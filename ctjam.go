@@ -102,6 +102,12 @@ type Config struct {
 	LossJam float64
 	// Jammer selects the attacker's power mode.
 	Jammer JammerMode
+	// JammerSpec selects the attacker's hopping strategy from the jammer
+	// zoo, in the internal/jammer spec grammar — e.g. "sweep",
+	// "reactive:delay=2,miss=0.1", "adaptive:alpha=0.2",
+	// "budget:duty=0.5,over=(reactive)". Empty means the paper's §II-C
+	// sweeping jammer.
+	JammerSpec string
 	// Seed makes runs reproducible.
 	Seed int64
 	// FaultSpec optionally layers deterministic fault injection on top of
@@ -147,6 +153,7 @@ func (c Config) internal() (env.Config, error) {
 		TxPowers:   tx,
 		JamPowers:  jam,
 		JammerMode: mode,
+		Jammer:     c.JammerSpec,
 		LossHop:    c.LossHop,
 		LossJam:    c.LossJam,
 		Seed:       c.Seed,
@@ -621,6 +628,7 @@ func FieldCompare(cfg Config, schemes []Scheme, policy *Policy, opts FieldOption
 	icfg.TxPowers = ecfg.TxPowers
 	icfg.JamPowers = ecfg.JamPowers
 	icfg.JammerMode = ecfg.JammerMode
+	icfg.Jammer = ecfg.Jammer
 	icfg.Seed = cfg.Seed
 	icfg.Faults = ecfg.Faults
 	if opts.Nodes > 0 {
@@ -770,6 +778,7 @@ func FieldScale(cfg Config, scheme Scheme, policy *Policy, opts FieldScaleOption
 	icfg.TxPowers = ecfg.TxPowers
 	icfg.JamPowers = ecfg.JamPowers
 	icfg.JammerMode = ecfg.JammerMode
+	icfg.Jammer = ecfg.Jammer
 	icfg.Seed = cfg.Seed
 	icfg.Faults = ecfg.Faults
 	if opts.NodesPerCluster > 0 {

@@ -13,15 +13,138 @@ import (
 
 // Training checkpoint format: a "CTTC" header followed by the training-loop
 // cursor (slots completed, reward accumulator), the agent's rolling history
-// window, the environment snapshot (RNG, channel, slot and sweeper state)
-// and finally the learner state from rl.DQN.SaveState. Restoring all of it
-// into a same-config agent and environment makes a resumed run bit-identical
-// to one that never stopped.
+// window, the environment snapshot (RNG, channel, slot and generic jammer
+// strategy state) and finally the learner state from rl.DQN.SaveState.
+// Restoring all of it into a same-config agent and environment makes a
+// resumed run bit-identical to one that never stopped.
+//
+// Version 2 replaced the hardcoded sweeper triple (locked flag, lock block,
+// remaining blocks) with the self-describing jammer.State encoding (kind tag,
+// int/float payloads, optional nested inner state), so any strategy in the
+// zoo checkpoints through the same codec.
 
 const (
 	trainMagic   = 0x43545443 // "CTTC"
-	trainVersion = 1
+	trainVersion = 2
 )
+
+// Caps on the jammer-state encoding; real states are far smaller, so these
+// only bound what a corrupt stream can make us allocate.
+const (
+	maxJamKindLen  = 64
+	maxJamPayload  = 1 << 16
+	maxJamNesting  = 8
+)
+
+// writeJammerState encodes a jammer.State (recursively for wrappers).
+func writeJammerState(w io.Writer, st jammer.State) error {
+	write := func(v any) error { return binary.Write(w, binary.LittleEndian, v) }
+	if len(st.Kind) > maxJamKindLen {
+		return fmt.Errorf("core: jammer kind %q longer than %d bytes", st.Kind, maxJamKindLen)
+	}
+	if len(st.Ints) > maxJamPayload || len(st.Floats) > maxJamPayload {
+		return fmt.Errorf("core: jammer state payload too large (%d ints, %d floats)", len(st.Ints), len(st.Floats))
+	}
+	if err := write(uint32(len(st.Kind))); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte(st.Kind)); err != nil {
+		return err
+	}
+	if err := write(uint32(len(st.Ints))); err != nil {
+		return err
+	}
+	for _, x := range st.Ints {
+		if err := write(uint64(x)); err != nil {
+			return err
+		}
+	}
+	if err := write(uint32(len(st.Floats))); err != nil {
+		return err
+	}
+	for _, x := range st.Floats {
+		if err := write(math.Float64bits(x)); err != nil {
+			return err
+		}
+	}
+	if st.Inner == nil {
+		return write(uint8(0))
+	}
+	if err := write(uint8(1)); err != nil {
+		return err
+	}
+	return writeJammerState(w, *st.Inner)
+}
+
+// readJammerState decodes an encoding written by writeJammerState.
+func readJammerState(r io.Reader, depth int) (jammer.State, error) {
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	if depth > maxJamNesting {
+		return jammer.State{}, fmt.Errorf("%w: jammer state nested deeper than %d", ErrBadTrainingCheckpoint, maxJamNesting)
+	}
+	var kindLen uint32
+	if err := read(&kindLen); err != nil {
+		return jammer.State{}, fmt.Errorf("%w: jammer kind: %v", ErrBadTrainingCheckpoint, err)
+	}
+	if kindLen > maxJamKindLen {
+		return jammer.State{}, fmt.Errorf("%w: implausible jammer kind length %d", ErrBadTrainingCheckpoint, kindLen)
+	}
+	kind := make([]byte, kindLen)
+	if _, err := io.ReadFull(r, kind); err != nil {
+		return jammer.State{}, fmt.Errorf("%w: jammer kind: %v", ErrBadTrainingCheckpoint, err)
+	}
+	st := jammer.State{Kind: string(kind)}
+	var nInts uint32
+	if err := read(&nInts); err != nil {
+		return jammer.State{}, fmt.Errorf("%w: jammer ints: %v", ErrBadTrainingCheckpoint, err)
+	}
+	if nInts > maxJamPayload {
+		return jammer.State{}, fmt.Errorf("%w: implausible jammer int count %d", ErrBadTrainingCheckpoint, nInts)
+	}
+	if nInts > 0 {
+		st.Ints = make([]int64, nInts)
+		for i := range st.Ints {
+			var x uint64
+			if err := read(&x); err != nil {
+				return jammer.State{}, fmt.Errorf("%w: jammer ints: %v", ErrBadTrainingCheckpoint, err)
+			}
+			st.Ints[i] = int64(x)
+		}
+	}
+	var nFloats uint32
+	if err := read(&nFloats); err != nil {
+		return jammer.State{}, fmt.Errorf("%w: jammer floats: %v", ErrBadTrainingCheckpoint, err)
+	}
+	if nFloats > maxJamPayload {
+		return jammer.State{}, fmt.Errorf("%w: implausible jammer float count %d", ErrBadTrainingCheckpoint, nFloats)
+	}
+	if nFloats > 0 {
+		st.Floats = make([]float64, nFloats)
+		for i := range st.Floats {
+			var bits uint64
+			if err := read(&bits); err != nil {
+				return jammer.State{}, fmt.Errorf("%w: jammer floats: %v", ErrBadTrainingCheckpoint, err)
+			}
+			st.Floats[i] = math.Float64frombits(bits)
+		}
+	}
+	var hasInner uint8
+	if err := read(&hasInner); err != nil {
+		return jammer.State{}, fmt.Errorf("%w: jammer inner flag: %v", ErrBadTrainingCheckpoint, err)
+	}
+	switch hasInner {
+	case 0:
+	case 1:
+		inner, err := readJammerState(r, depth+1)
+		if err != nil {
+			return jammer.State{}, err
+		}
+		st.Inner = &inner
+	default:
+		return jammer.State{}, fmt.Errorf("%w: bad jammer inner flag %d", ErrBadTrainingCheckpoint, hasInner)
+	}
+	return st, nil
+}
 
 // ErrBadTrainingCheckpoint is returned when decoding an invalid training
 // checkpoint.
@@ -56,17 +179,13 @@ func (a *DQNAgent) SaveTraining(w io.Writer, e *env.Environment, cur TrainingCur
 	}
 	for _, v := range []any{
 		st.RNG, uint32(st.Channel), uint64(st.Slot), boolByte(st.Started),
-		boolByte(st.Sweeper.Locked), uint64(int64(st.Sweeper.LockBlock)),
-		uint32(len(st.Sweeper.Remaining)),
 	} {
 		if err := write(v); err != nil {
 			return err
 		}
 	}
-	for _, b := range st.Sweeper.Remaining {
-		if err := write(uint32(b)); err != nil {
-			return err
-		}
+	if err := writeJammerState(w, st.Jammer); err != nil {
+		return err
 	}
 	return a.dqn.SaveState(w)
 }
@@ -106,39 +225,30 @@ func (a *DQNAgent) LoadTraining(r io.Reader, e *env.Environment) (TrainingCursor
 		hist[i] = math.Float64frombits(bits)
 	}
 
-	var envRNG, envSlot, lockBlock uint64
-	var envChannel, nRemaining uint32
-	var started, locked uint8
-	for _, v := range []any{&envRNG, &envChannel, &envSlot, &started, &locked, &lockBlock, &nRemaining} {
+	var envRNG, envSlot uint64
+	var envChannel uint32
+	var started uint8
+	for _, v := range []any{&envRNG, &envChannel, &envSlot, &started} {
 		if err := read(v); err != nil {
 			return TrainingCursor{}, fmt.Errorf("%w: environment: %v", ErrBadTrainingCheckpoint, err)
 		}
 	}
-	if started > 1 || locked > 1 {
-		return TrainingCursor{}, fmt.Errorf("%w: bad flags started=%d locked=%d", ErrBadTrainingCheckpoint, started, locked)
+	if started > 1 {
+		return TrainingCursor{}, fmt.Errorf("%w: bad started flag %d", ErrBadTrainingCheckpoint, started)
 	}
-	if envSlot > 1<<40 || nRemaining > 1<<16 {
-		return TrainingCursor{}, fmt.Errorf("%w: implausible env slot=%d remaining=%d",
-			ErrBadTrainingCheckpoint, envSlot, nRemaining)
+	if envSlot > 1<<40 {
+		return TrainingCursor{}, fmt.Errorf("%w: implausible env slot %d", ErrBadTrainingCheckpoint, envSlot)
 	}
-	remaining := make([]int, nRemaining)
-	for i := range remaining {
-		var b uint32
-		if err := read(&b); err != nil {
-			return TrainingCursor{}, fmt.Errorf("%w: sweeper: %v", ErrBadTrainingCheckpoint, err)
-		}
-		remaining[i] = int(b)
+	jamState, err := readJammerState(r, 1)
+	if err != nil {
+		return TrainingCursor{}, err
 	}
 	st := env.State{
 		RNG:     envRNG,
 		Channel: int(envChannel),
 		Slot:    int(envSlot),
 		Started: started == 1,
-		Sweeper: jammer.SweeperState{
-			Remaining: remaining,
-			Locked:    locked == 1,
-			LockBlock: int(int64(lockBlock)),
-		},
+		Jammer:  jamState,
 	}
 
 	// Restore the learner first: it validates against the agent's config

@@ -55,19 +55,56 @@ func skipTrainingPrelude(r io.Reader) error {
 	if _, err := io.CopyN(io.Discard, r, int64(histLen)*8); err != nil {
 		return fmt.Errorf("%w: history: %v", ErrBadTrainingCheckpoint, err)
 	}
-	var envRNG, envSlot, lockBlock uint64
-	var envChannel, nRemaining uint32
-	var started, locked uint8
-	for _, v := range []any{&envRNG, &envChannel, &envSlot, &started, &locked, &lockBlock, &nRemaining} {
+	var envRNG, envSlot uint64
+	var envChannel uint32
+	var started uint8
+	for _, v := range []any{&envRNG, &envChannel, &envSlot, &started} {
 		if err := read(v); err != nil {
 			return fmt.Errorf("%w: environment: %v", ErrBadTrainingCheckpoint, err)
 		}
 	}
-	if nRemaining > 1<<16 {
-		return fmt.Errorf("%w: implausible sweeper size %d", ErrBadTrainingCheckpoint, nRemaining)
+	return skipJammerState(r, 1)
+}
+
+// skipJammerState discards a writeJammerState encoding using its in-stream
+// lengths, recursing into wrapper inner states.
+func skipJammerState(r io.Reader, depth int) error {
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	if depth > maxJamNesting {
+		return fmt.Errorf("%w: jammer state nested deeper than %d", ErrBadTrainingCheckpoint, maxJamNesting)
 	}
-	if _, err := io.CopyN(io.Discard, r, int64(nRemaining)*4); err != nil {
-		return fmt.Errorf("%w: sweeper: %v", ErrBadTrainingCheckpoint, err)
+	var kindLen uint32
+	if err := read(&kindLen); err != nil {
+		return fmt.Errorf("%w: jammer kind: %v", ErrBadTrainingCheckpoint, err)
 	}
-	return nil
+	if kindLen > maxJamKindLen {
+		return fmt.Errorf("%w: implausible jammer kind length %d", ErrBadTrainingCheckpoint, kindLen)
+	}
+	if _, err := io.CopyN(io.Discard, r, int64(kindLen)); err != nil {
+		return fmt.Errorf("%w: jammer kind: %v", ErrBadTrainingCheckpoint, err)
+	}
+	for _, what := range []string{"ints", "floats"} {
+		var n uint32
+		if err := read(&n); err != nil {
+			return fmt.Errorf("%w: jammer %s: %v", ErrBadTrainingCheckpoint, what, err)
+		}
+		if n > maxJamPayload {
+			return fmt.Errorf("%w: implausible jammer %s count %d", ErrBadTrainingCheckpoint, what, n)
+		}
+		if _, err := io.CopyN(io.Discard, r, int64(n)*8); err != nil {
+			return fmt.Errorf("%w: jammer %s: %v", ErrBadTrainingCheckpoint, what, err)
+		}
+	}
+	var hasInner uint8
+	if err := read(&hasInner); err != nil {
+		return fmt.Errorf("%w: jammer inner flag: %v", ErrBadTrainingCheckpoint, err)
+	}
+	switch hasInner {
+	case 0:
+		return nil
+	case 1:
+		return skipJammerState(r, depth+1)
+	default:
+		return fmt.Errorf("%w: bad jammer inner flag %d", ErrBadTrainingCheckpoint, hasInner)
+	}
 }

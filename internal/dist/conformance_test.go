@@ -28,9 +28,9 @@ func testOptions() experiments.Options {
 }
 
 // cacheBackedIDs filters the registry down to the experiments whose compute
-// is distributable — the 20 Figs. 6-8 metric panels plus Table I and its
-// seed-replicated variant (sweep points), and the fig10/fig11/scale panels
-// (field replica units).
+// is distributable — the 20 Figs. 6-8 metric panels plus Table I, its
+// seed-replicated variant and the jammer-zoo matchup (sweep points), and the
+// fig10/fig11/scale panels (field replica units).
 func cacheBackedIDs(t *testing.T, o experiments.Options) []string {
 	t.Helper()
 	var ids []string
@@ -43,8 +43,8 @@ func cacheBackedIDs(t *testing.T, o experiments.Options) []string {
 			ids = append(ids, id)
 		}
 	}
-	if len(ids) != 27 {
-		t.Fatalf("expected 27 cache-backed experiments, got %d: %v", len(ids), ids)
+	if len(ids) != 28 {
+		t.Fatalf("expected 28 cache-backed experiments, got %d: %v", len(ids), ids)
 	}
 	return ids
 }

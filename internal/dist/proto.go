@@ -47,6 +47,7 @@ type WireConfig struct {
 	TxPowers   []float64 `json:"tx_powers"`
 	JamPowers  []float64 `json:"jam_powers"`
 	JammerMode int       `json:"jammer_mode"`
+	Jammer     string    `json:"jammer,omitempty"`
 	LossHop    float64   `json:"loss_hop"`
 	LossJam    float64   `json:"loss_jam"`
 	Seed       int64     `json:"seed"`
@@ -66,6 +67,7 @@ func wireConfig(cfg env.Config) (WireConfig, error) {
 		TxPowers:   cfg.TxPowers,
 		JamPowers:  cfg.JamPowers,
 		JammerMode: int(cfg.JammerMode),
+		Jammer:     cfg.Jammer,
 		LossHop:    cfg.LossHop,
 		LossJam:    cfg.LossJam,
 		Seed:       cfg.Seed,
@@ -80,6 +82,7 @@ func (c WireConfig) envConfig() (env.Config, error) {
 		TxPowers:   c.TxPowers,
 		JamPowers:  c.JamPowers,
 		JammerMode: jammer.PowerMode(c.JammerMode),
+		Jammer:     c.Jammer,
 		LossHop:    c.LossHop,
 		LossJam:    c.LossJam,
 		Seed:       c.Seed,
@@ -231,6 +234,12 @@ type Unit struct {
 	Config WireConfig     `json:"config,omitempty"`
 	Field  *WireFieldSpec `json:"field,omitempty"`
 
+	// Defense is the point's defense scheme tag (experiments.Point.Defense):
+	// "" for the engine-selected RL FH, or a deterministic baseline tag.
+	// Baseline points carry no SchemeKey — their schemes are rebuilt from the
+	// config alone on whatever worker evaluates them.
+	Defense string `json:"defense,omitempty"`
+
 	// Train marks a scheme-training unit: the worker trains/solves the
 	// scheme the seed-zeroed Config selects under Opts and uploads its CTSC
 	// checkpoint via POST /v1/scheme instead of evaluating anything.
@@ -279,12 +288,16 @@ func UnitsFor(o experiments.Options, ids []string) ([]Unit, error) {
 		if err != nil {
 			return nil, err
 		}
-		units = append(units, Unit{
-			Key:       sp.Key,
-			Opts:      wo,
-			Config:    wc,
-			SchemeKey: experiments.SchemeKey(o, sp.Config),
-		})
+		u := Unit{
+			Key:     sp.Key,
+			Opts:    wo,
+			Config:  wc,
+			Defense: sp.Defense,
+		}
+		if sp.Defense == experiments.DefenseRL {
+			u.SchemeKey = experiments.SchemeKey(o, sp.Config)
+		}
+		units = append(units, u)
 	}
 	for _, fs := range fields {
 		ws := wireFieldSpec(fs.Spec)
@@ -310,6 +323,11 @@ func TrainUnitsFor(o experiments.Options, ids []string) ([]Unit, error) {
 	seen := make(map[string]bool, len(specs))
 	var units []Unit
 	for _, sp := range specs {
+		if sp.Defense != experiments.DefenseRL {
+			// Baseline schemes are deterministic functions of the config;
+			// nothing to train fleet-wide.
+			continue
+		}
 		key := experiments.SchemeKey(o, sp.Config)
 		if seen[key] {
 			continue
@@ -356,7 +374,7 @@ func evaluate(ctx context.Context, units []Unit, cache *experiments.Cache, worke
 	for _, wo := range order {
 		idxs := groups[wo]
 		o := wo.options(ctx, cache, workers)
-		cfgs := make([]env.Config, 0, len(idxs))
+		pts := make([]experiments.Point, 0, len(idxs))
 		specs := make([]experiments.FieldSpec, 0, len(idxs))
 		okPts := idxs[:0:0]
 		okFds := idxs[:0:0]
@@ -380,15 +398,16 @@ func evaluate(ctx context.Context, units []Unit, cache *experiments.Cache, worke
 				out[i].Err = err.Error()
 				continue
 			}
-			if got := experiments.PointKey(o, cfg); got != units[i].Key {
+			p := experiments.Point{Config: cfg, Defense: units[i].Defense}
+			if got := experiments.PointKey(o, p); got != units[i].Key {
 				out[i].Err = fmt.Sprintf("dist: key mismatch: coordinator sent %q, worker derives %q", units[i].Key, got)
 				continue
 			}
 			okPts = append(okPts, i)
-			cfgs = append(cfgs, cfg)
+			pts = append(pts, p)
 		}
 		if len(okPts) > 0 {
-			counters, err := experiments.EvaluatePoints(o, cfgs)
+			counters, err := experiments.EvaluatePoints(o, pts)
 			if err != nil {
 				for _, i := range okPts {
 					out[i].Err = err.Error()

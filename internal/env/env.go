@@ -1,8 +1,10 @@
 // Package env implements the time-slotted jamming environment the paper's
 // DQN is trained and evaluated in: a victim ZigBee link hopping among K
-// channels with M transmit power levels, attacked by a sweeping
-// cross-technology jammer that scans m consecutive channels per slot
-// (sweep cycle ceil(K/m)) and locks on once it finds the victim.
+// channels with M transmit power levels, attacked by a cross-technology
+// jammer. The default attacker is the paper's sweeper, which scans m
+// consecutive channels per slot (sweep cycle ceil(K/m)) and locks on once it
+// finds the victim; Config.Jammer selects any strategy from the jammer zoo
+// (reactive, adaptive, energy-budgeted) by spec string.
 //
 // Each slot the victim (hub) chooses a channel and power level; the
 // environment resolves the jammer's move and reports the outcome plus the
@@ -66,6 +68,11 @@ type Config struct {
 	JamPowers []float64
 	// JammerMode selects max or random jamming power.
 	JammerMode jammer.PowerMode
+	// Jammer selects the attacker strategy by spec string (see
+	// jammer.ParseSpec); empty means the paper's sweeper. The canonical
+	// form participates in Fingerprint, so it keys caches, scheme reuse
+	// and the dist wire format.
+	Jammer string
 	// LossHop is L_H, the frequency-hopping loss (50).
 	LossHop float64
 	// LossJam is L_J, the successful-jamming loss (100).
@@ -123,7 +130,20 @@ func (c Config) Validate() error {
 	if c.JammerMode != jammer.ModeMax && c.JammerMode != jammer.ModeRandom {
 		return fmt.Errorf("env: unknown jammer mode %v", c.JammerMode)
 	}
+	if _, err := jammer.ParseSpec(c.Jammer); err != nil {
+		return fmt.Errorf("env: jammer spec: %w", err)
+	}
 	return nil
+}
+
+// JammerCanonical returns the canonical form of the jammer spec ("sweep" for
+// the default). It panics on an invalid spec; call Validate first.
+func (c Config) JammerCanonical() string {
+	canon, err := jammer.Canonical(c.Jammer)
+	if err != nil {
+		panic(fmt.Sprintf("env: invalid jammer spec %q: %v", c.Jammer, err))
+	}
+	return canon
 }
 
 // SweepCycle returns ceil(K/m), the paper's sweep cycle length.
@@ -153,7 +173,7 @@ type StepResult struct {
 // Environment is the slot-level simulation. Not safe for concurrent use.
 type Environment struct {
 	cfg     Config
-	sweeper *jammer.Sweeper
+	jam     jammer.Strategy
 	rng     *rand.Rand
 	rngSrc  *rng.Source
 	channel int
@@ -188,16 +208,18 @@ func (e *Environment) CurrentChannel() int { return e.channel }
 func (e *Environment) Slot() int { return e.slot }
 
 // Reset reinitializes jammer and victim positions deterministically from
-// the seed.
+// the seed. Strategy construction draws nothing from the RNG (part of the
+// Strategy contract), so the victim's initial channel draw is identical
+// across attacker kinds.
 func (e *Environment) Reset() {
 	e.rng, e.rngSrc = rng.New(e.cfg.Seed)
-	sweeper, err := jammer.NewSweeper(e.cfg.Channels, e.cfg.SweepWidth, e.cfg.JamPowers, e.cfg.JammerMode, e.rng)
+	jam, err := jammer.New(e.cfg.Jammer, e.cfg.Channels, e.cfg.SweepWidth, e.cfg.JamPowers, e.cfg.JammerMode, e.rng)
 	if err != nil {
 		// Config was validated in New; a failure here is a programming
 		// error.
-		panic(fmt.Sprintf("env: sweeper construction failed after validation: %v", err))
+		panic(fmt.Sprintf("env: jammer construction failed after validation: %v", err))
 	}
-	e.sweeper = sweeper
+	e.jam = jam
 	e.channel = e.rng.Intn(e.cfg.Channels)
 	e.slot = 0
 	e.started = false
@@ -216,16 +238,17 @@ func (e *Environment) Step(channel, power int) (StepResult, error) {
 	hopped := e.started && channel != e.channel
 	oldChannel := e.channel
 
-	// Capture whether the jammer was locked on the victim's previous
-	// block before it reacts, to attribute useful hops.
+	// Capture whether the jammer was focused on the victim's previous
+	// block before it reacts, to attribute useful hops. Focus generalizes
+	// the sweeper's lock to the whole strategy zoo.
 	lockedOnOld := false
-	if block, ok := e.sweeper.LockedBlock(); ok {
-		if oldBlock, err := e.sweeper.BlockOf(oldChannel); err == nil && block == oldBlock {
+	if block, ok := e.jam.Focus(); ok {
+		if oldBlock, err := jammer.BlockIndex(e.cfg.Channels, e.cfg.SweepWidth, oldChannel); err == nil && block == oldBlock {
 			lockedOnOld = true
 		}
 	}
 
-	jammed, jamPower, err := e.sweeper.Step(channel)
+	jammed, jamPower, err := e.jam.Step(channel)
 	if err != nil {
 		return StepResult{}, fmt.Errorf("env: jammer step: %w", err)
 	}
@@ -286,13 +309,13 @@ func (e *Environment) Step(channel, power int) (StepResult, error) {
 
 // State is a serializable snapshot of a running Environment, sufficient to
 // resume stepping bit-identically. It captures the shared environment/jammer
-// RNG, the victim position and the sweeper's cycle progress.
+// RNG, the victim position and the jammer strategy's state.
 type State struct {
 	RNG     uint64
 	Channel int
 	Slot    int
 	Started bool
-	Sweeper jammer.SweeperState
+	Jammer  jammer.State
 }
 
 // State snapshots the environment for checkpointing.
@@ -302,12 +325,13 @@ func (e *Environment) State() State {
 		Channel: e.channel,
 		Slot:    e.slot,
 		Started: e.started,
-		Sweeper: e.sweeper.State(),
+		Jammer:  e.jam.State(),
 	}
 }
 
 // SetState restores a snapshot taken with State. The environment must have
-// been built with the same Config.
+// been built with the same Config; kind and range validation of the jammer
+// payload is delegated to the strategy.
 func (e *Environment) SetState(st State) error {
 	if st.Channel < 0 || st.Channel >= e.cfg.Channels {
 		return fmt.Errorf("env: state channel %d out of range [0,%d)", st.Channel, e.cfg.Channels)
@@ -315,7 +339,7 @@ func (e *Environment) SetState(st State) error {
 	if st.Slot < 0 {
 		return fmt.Errorf("env: state slot %d must be non-negative", st.Slot)
 	}
-	if err := e.sweeper.SetState(st.Sweeper); err != nil {
+	if err := e.jam.SetState(st.Jammer); err != nil {
 		return err
 	}
 	e.rngSrc.SetState(st.RNG)

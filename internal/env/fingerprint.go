@@ -33,6 +33,13 @@ func (c Config) Fingerprint() string {
 	writeFloats(&b, c.TxPowers)
 	b.WriteString(",jp=")
 	writeFloats(&b, c.JamPowers)
+	// The jammer spec joins the fingerprint only when it deviates from the
+	// default sweeper, so every pre-zoo cache key, scheme key and golden
+	// file stays byte-identical.
+	if canon := c.JammerCanonical(); canon != "sweep" {
+		b.WriteString(",jam=")
+		b.WriteString(canon)
+	}
 	if c.Faults != nil {
 		b.WriteString(",fault=")
 		fmt.Fprintf(&b, "%#v", c.Faults)

@@ -1,0 +1,127 @@
+package env
+
+import (
+	"strings"
+	"testing"
+)
+
+// conformanceJammerSpecs mirrors the jammer package's cross-strategy roster:
+// every registered kind plus parameterized variants, as the environment-level
+// conformance suite drives them.
+var conformanceJammerSpecs = []string{
+	"",
+	"sweep",
+	"reactive",
+	"reactive:delay=0",
+	"reactive:delay=2,miss=0.2,hold=3",
+	"adaptive",
+	"adaptive:alpha=0.5,explore=0",
+	"budget",
+	"budget:duty=0.25,burst=4,over=(reactive:delay=1,miss=0.1)",
+	"budget:duty=0.75,over=(adaptive:alpha=0.2)",
+}
+
+// TestJammerSpecStateRestoreContinuesIdentically extends the environment's
+// snapshot/restore guarantee across the whole jammer zoo: for every strategy,
+// a mid-run State capture restored into a fresh environment continues
+// bit-identically.
+func TestJammerSpecStateRestoreContinuesIdentically(t *testing.T) {
+	for _, spec := range conformanceJammerSpecs {
+		name := spec
+		if name == "" {
+			name = "(default)"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Seed = 29
+			cfg.Jammer = spec
+
+			e1, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scripted(e1, 400)
+			snap := e1.State()
+			want := scripted(e1, 400)
+
+			e2, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scripted(e2, 57) // perturb so the restore provably overwrites
+			if err := e2.SetState(snap); err != nil {
+				t.Fatal(err)
+			}
+			got := scripted(e2, 400)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("slot %d after restore: %+v != %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFingerprintDistinguishesJammerSpecs pins the cache-key contract: any
+// two configs differing only in (canonical) jammer spec fingerprint
+// differently, while spellings of the same spec — and the default attacker
+// vs. explicit "sweep" — collide exactly.
+func TestFingerprintDistinguishesJammerSpecs(t *testing.T) {
+	fps := make(map[string]string)
+	for _, spec := range conformanceJammerSpecs {
+		cfg := DefaultConfig()
+		cfg.Jammer = spec
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("spec %q: %v", spec, err)
+		}
+		canon := cfg.JammerCanonical()
+		fp := cfg.Fingerprint()
+		if prev, ok := fps[canon]; ok {
+			if prev != fp {
+				t.Errorf("canonical %q fingerprints both %q and %q", canon, prev, fp)
+			}
+			continue
+		}
+		for c, prev := range fps {
+			if prev == fp {
+				t.Errorf("specs %q and %q share fingerprint %q", c, canon, fp)
+			}
+		}
+		fps[canon] = fp
+	}
+
+	// The default attacker's fingerprint is byte-identical to the pre-zoo
+	// format: no jam= tag at all, so every existing cache key and golden
+	// trace still resolves.
+	base := DefaultConfig()
+	for _, spec := range []string{"", "sweep", " sweep "} {
+		cfg := base
+		cfg.Jammer = spec
+		if got, want := cfg.Fingerprint(), base.Fingerprint(); got != want {
+			t.Errorf("Jammer=%q fingerprint %q, want the pre-zoo %q", spec, got, want)
+		}
+	}
+	if fp := base.Fingerprint(); strings.Contains(fp, "jam=") {
+		t.Errorf("default fingerprint %q carries a jam= tag", fp)
+	}
+	cfg := base
+	cfg.Jammer = "reactive"
+	if fp := cfg.Fingerprint(); !strings.Contains(fp, ",jam=reactive:delay=1,miss=0,hold=0") {
+		t.Errorf("reactive fingerprint %q missing the canonical jam= tag", fp)
+	}
+}
+
+// TestConfigValidateRejectsBadJammerSpec pins that spec errors surface at
+// Validate, before any environment is built.
+func TestConfigValidateRejectsBadJammerSpec(t *testing.T) {
+	for _, spec := range []string{"pulse", "reactive:", "budget:over=(sweep", "adaptive:alpha=0"} {
+		cfg := DefaultConfig()
+		cfg.Jammer = spec
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted jammer spec %q", spec)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New accepted jammer spec %q", spec)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ctjam/internal/fault"
+	"ctjam/internal/jammer"
 )
 
 // stayAgent never defends: fixed channel, lowest power.
@@ -77,15 +78,19 @@ func TestSetStateRejectsInvalid(t *testing.T) {
 		t.Fatal("negative slot accepted")
 	}
 	bad = base
-	bad.Sweeper.Remaining = []int{99}
+	bad.Jammer = jammer.State{Kind: jammer.KindSweep, Ints: []int64{0, 0, 99}}
 	if err := e.SetState(bad); err == nil {
 		t.Fatal("out-of-range sweeper block accepted")
 	}
 	bad = base
-	bad.Sweeper.Locked = true
-	bad.Sweeper.LockBlock = -2
+	bad.Jammer = jammer.State{Kind: jammer.KindSweep, Ints: []int64{1, -2}}
 	if err := e.SetState(bad); err == nil {
 		t.Fatal("invalid lock block accepted")
+	}
+	bad = base
+	bad.Jammer = jammer.State{Kind: "reactive", Ints: []int64{0, 0}}
+	if err := e.SetState(bad); err == nil {
+		t.Fatal("wrong-kind jammer state accepted")
 	}
 }
 

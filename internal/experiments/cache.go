@@ -74,11 +74,14 @@ type CacheStats struct {
 	PointMisses int64
 	// Schemes counts unique trained/solved schemes held.
 	Schemes int
-	// SchemeBuilds counts schemes this cache trained or solved locally;
+	// SchemeBuilds counts schemes this cache trained or solved locally.
+	// Deterministic baseline schemes (Point.Defense != "") are excluded:
+	// they carry no checkpoint, every process rebuilds them from the config
+	// in microseconds, and counting them would break the fleet accounting.
 	// SchemeImports counts schemes installed from an external checkpoint
 	// (a coordinator's scheme store or a merged spool) instead of training.
 	// Fleet-wide, the sum of SchemeBuilds across workers equals the number
-	// of unique scheme keys when checkpoint distribution works.
+	// of unique trainable scheme keys when checkpoint distribution works.
 	SchemeBuilds  int64
 	SchemeImports int64
 	// FieldHits / FieldMisses count the same for memoized field-simulator
@@ -155,8 +158,13 @@ func (c *Cache) scheme(ctx context.Context, key string, build func() (*policy.Sc
 	}
 	c.mu.Unlock()
 	if !ok {
-		c.schemeBuilds.Add(1)
 		e.s, e.blob, e.err = build()
+		if e.blob != nil {
+			// Only checkpoint-bearing (trained/solved) schemes count toward
+			// the fleet-wide build accounting; blobless baseline schemes are
+			// rebuilt wherever needed.
+			c.schemeBuilds.Add(1)
+		}
 		close(e.done)
 		return e.s, e.err
 	}
@@ -254,12 +262,13 @@ func (c *Cache) ExportSchemes() []SchemeBlob {
 	return out
 }
 
-// SchemeKey returns the canonical scheme cache key of one sweep point under
-// o, applying the same option defaulting Run does. This is the unit key of
-// distributed train units: the coordinator derives it from CachePoints specs
-// and workers recompute it from the wire-decoded pair before training.
+// SchemeKey returns the canonical scheme cache key of one RL FH sweep point
+// under o, applying the same option defaulting Run does. This is the unit key
+// of distributed train units: the coordinator derives it from CachePoints
+// specs and workers recompute it from the wire-decoded pair before training.
+// Baseline-defense points never train, so this only covers the RL scheme.
 func SchemeKey(o Options, cfg env.Config) string {
-	return schemeKey(o.withFloor(), cfg)
+	return schemeKey(o.withFloor(), Point{Config: cfg})
 }
 
 // TrainScheme trains (or solves) the scheme one sweep point evaluates and
@@ -272,7 +281,7 @@ func (c *Cache) TrainScheme(ctx context.Context, o Options, cfg env.Config) (key
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	key = schemeKey(o, cfg)
+	key = schemeKey(o, Point{Config: cfg})
 	if _, err := c.scheme(ctx, key, func() (*policy.Scheme, []byte, error) {
 		return buildScheme(o, cfg)
 	}); err != nil {
@@ -324,20 +333,32 @@ func (c *Cache) ImportPoint(key string, counters metrics.Counters) {
 
 // pointKey is the canonical fingerprint of one sweep point: everything that
 // determines its Counters. cfg.Fingerprint covers the environment (including
-// the evaluation seed); Engine/TrainSlots/Seed pin the scheme construction
-// (see schemeCheckpoint) and Slots the evaluation length.
-func pointKey(o Options, cfg env.Config) string {
-	return fmt.Sprintf("pt|%s|eng=%d|fast=%t|train=%d|seed=%d|slots=%d",
-		cfg.Fingerprint(), int(o.Engine), o.Fast32, o.TrainSlots, o.Seed, o.Slots)
+// the evaluation seed and the attacker spec); Engine/TrainSlots/Seed pin the
+// scheme construction (see schemeCheckpoint) and Slots the evaluation length.
+// The defense tag joins the key only when it deviates from the default RL FH,
+// so every pre-matchup key stays byte-identical.
+func pointKey(o Options, p Point) string {
+	key := fmt.Sprintf("pt|%s|eng=%d|fast=%t|train=%d|seed=%d|slots=%d",
+		p.Config.Fingerprint(), int(o.Engine), o.Fast32, o.TrainSlots, o.Seed, o.Slots)
+	if p.Defense != "" {
+		key += "|def=" + p.Defense
+	}
+	return key
 }
 
 // schemeKey fingerprints the trained/solved scheme a point evaluates. Scheme
 // construction never reads the evaluation seed — the DQN trains in a copy of
 // cfg reseeded to o.Seed+1000 and draws its own randomness from o.Seed, and
 // the MDP model is seed-free — so the evaluation seed is zeroed out of the
-// key and points differing only in it share one scheme.
-func schemeKey(o Options, cfg env.Config) string {
+// key and points differing only in it share one scheme. Baseline defenses are
+// pure functions of the config (no engine, no training), so their keys carry
+// the defense tag instead of the engine fields.
+func schemeKey(o Options, p Point) string {
+	cfg := p.Config
 	cfg.Seed = 0
+	if p.Defense != "" {
+		return fmt.Sprintf("sc|def=%s|%s", p.Defense, cfg.Fingerprint())
+	}
 	return fmt.Sprintf("sc|%s|eng=%d|fast=%t|train=%d|seed=%d",
 		cfg.Fingerprint(), int(o.Engine), o.Fast32, o.TrainSlots, o.Seed)
 }
@@ -381,6 +402,33 @@ func schemeCheckpoint(o Options, cfg env.Config) (*core.SchemeCheckpoint, error)
 	}
 }
 
+// baselineScheme builds one of the deterministic baseline defenses. They
+// carry no learned state, so there is no checkpoint blob: a nil blob keeps
+// them out of scheme exports and checkpoint shipping, and every process
+// rebuilds them identically from the config alone.
+func baselineScheme(defense string, cfg env.Config) (*policy.Scheme, error) {
+	switch defense {
+	case DefensePassive:
+		return policy.PassiveFHScheme(cfg.Channels, cfg.SweepWidth, core.DefaultJamThreshold)
+	case DefenseRandom:
+		return policy.RandomFHScheme(cfg.Channels, cfg.SweepWidth, len(cfg.TxPowers))
+	case DefenseStatic:
+		return policy.StaticScheme(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown defense %q", defense)
+	}
+}
+
+// buildSchemeFor builds the scheme one point evaluates: the engine-selected
+// RL FH for an empty defense tag, a deterministic baseline otherwise.
+func buildSchemeFor(o Options, p Point) (*policy.Scheme, []byte, error) {
+	if p.Defense == "" {
+		return buildScheme(o, p.Config)
+	}
+	s, err := baselineScheme(p.Defense, p.Config)
+	return s, nil, err
+}
+
 // buildScheme trains the scheme and returns it together with its canonical
 // checkpoint bytes. The returned scheme is rebuilt from the encoded blob —
 // not taken from the live trainer — so a local trainer and a remote worker
@@ -417,7 +465,7 @@ func buildScheme(o Options, cfg env.Config) (*policy.Scheme, []byte, error) {
 // into a slice indexed by config — so the output is bit-for-bit independent
 // of worker count, group composition and prior cache state. label(i)
 // describes config i in error messages.
-func runPoints(o Options, cfgs []env.Config, label func(i int) string) ([]metrics.Counters, error) {
+func runPoints(o Options, pts []Point, label func(i int) string) ([]metrics.Counters, error) {
 	cache := o.Cache
 	if cache == nil {
 		// withFloor normally installs a private cache; a nil cache here
@@ -429,26 +477,26 @@ func runPoints(o Options, cfgs []env.Config, label func(i int) string) ([]metric
 		ctx = context.Background()
 	}
 
-	// Group configs by the scheme they evaluate, preserving first-appearance
+	// Group points by the scheme they evaluate, preserving first-appearance
 	// order so work distribution is deterministic.
 	var order []string
-	groups := make(map[string][]int, len(cfgs))
-	for i, cfg := range cfgs {
-		k := schemeKey(o, cfg)
+	groups := make(map[string][]int, len(pts))
+	for i, p := range pts {
+		k := schemeKey(o, p)
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
 		groups[k] = append(groups[k], i)
 	}
 
-	entries := make([]*pointEntry, len(cfgs))
+	entries := make([]*pointEntry, len(pts))
 	err := parallel.ForEach(o.Workers, len(order), func(g int) error {
 		idxs := groups[order[g]]
 		// Claim the group's uncached points. Duplicate keys inside the group
-		// (identical configs) resolve to one claim; the rest read the entry.
+		// (identical points) resolve to one claim; the rest read the entry.
 		claimed := idxs[:0:0]
 		for _, i := range idxs {
-			e, claim := cache.claimPoint(pointKey(o, cfgs[i]))
+			e, claim := cache.claimPoint(pointKey(o, pts[i]))
 			entries[i] = e
 			if claim {
 				claimed = append(claimed, i)
@@ -470,7 +518,7 @@ func runPoints(o Options, cfgs []env.Config, label func(i int) string) ([]metric
 			}
 		}
 		scheme, err := cache.scheme(ctx, order[g], func() (*policy.Scheme, []byte, error) {
-			return buildScheme(o, cfgs[claimed[0]])
+			return buildSchemeFor(o, pts[claimed[0]])
 		})
 		if err != nil {
 			fill(nil, err)
@@ -478,7 +526,7 @@ func runPoints(o Options, cfgs []env.Config, label func(i int) string) ([]metric
 		}
 		envs := make([]*env.Environment, len(claimed))
 		for j, i := range claimed {
-			if envs[j], err = env.New(cfgs[i]); err != nil {
+			if envs[j], err = env.New(pts[i].Config); err != nil {
 				fill(nil, err)
 				return nil
 			}
@@ -491,7 +539,7 @@ func runPoints(o Options, cfgs []env.Config, label func(i int) string) ([]metric
 		return nil, err
 	}
 
-	out := make([]metrics.Counters, len(cfgs))
+	out := make([]metrics.Counters, len(pts))
 	var firstErr error
 	for i, e := range entries {
 		// Entries claimed by a concurrent run may still be in flight; the

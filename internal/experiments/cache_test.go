@@ -178,7 +178,7 @@ func TestBatchedSerialEvalCounters(t *testing.T) {
 				Workers:    2,
 				Cache:      NewCache(),
 			}
-			batched, err := runPoints(o, cfgs, func(i int) string { return fmt.Sprintf("cfg %d", i) })
+			batched, err := runPoints(o, asPoints(cfgs), func(i int) string { return fmt.Sprintf("cfg %d", i) })
 			if err != nil {
 				t.Fatal(err)
 			}

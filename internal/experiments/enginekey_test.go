@@ -20,28 +20,28 @@ func TestCacheKeysIncludeEngineChoice(t *testing.T) {
 	fast := base
 	fast.Fast32 = true
 
-	if pointKey(base, cfg) == pointKey(fast, cfg) {
-		t.Fatalf("point keys must differ by fast32 flag: %q", pointKey(base, cfg))
+	if pointKey(base, Point{Config: cfg}) == pointKey(fast, Point{Config: cfg}) {
+		t.Fatalf("point keys must differ by fast32 flag: %q", pointKey(base, Point{Config: cfg}))
 	}
-	if schemeKey(base, cfg) == schemeKey(fast, cfg) {
-		t.Fatalf("scheme keys must differ by fast32 flag: %q", schemeKey(base, cfg))
+	if schemeKey(base, Point{Config: cfg}) == schemeKey(fast, Point{Config: cfg}) {
+		t.Fatalf("scheme keys must differ by fast32 flag: %q", schemeKey(base, Point{Config: cfg}))
 	}
 
 	mdp := base
 	mdp.Engine = EngineMDP
-	if pointKey(base, cfg) == pointKey(mdp, cfg) {
-		t.Fatalf("point keys must differ by engine: %q", pointKey(base, cfg))
+	if pointKey(base, Point{Config: cfg}) == pointKey(mdp, Point{Config: cfg}) {
+		t.Fatalf("point keys must differ by engine: %q", pointKey(base, Point{Config: cfg}))
 	}
 
 	// A shared cache keeps the two engine variants as distinct entries.
 	c := NewCache()
-	if _, claimed := c.claimPoint(pointKey(base, cfg)); !claimed {
+	if _, claimed := c.claimPoint(pointKey(base, Point{Config: cfg})); !claimed {
 		t.Fatal("first exact-point claim should miss")
 	}
-	if _, claimed := c.claimPoint(pointKey(fast, cfg)); !claimed {
+	if _, claimed := c.claimPoint(pointKey(fast, Point{Config: cfg})); !claimed {
 		t.Fatal("fast32 point must not be served from the exact entry")
 	}
-	if _, claimed := c.claimPoint(pointKey(base, cfg)); claimed {
+	if _, claimed := c.claimPoint(pointKey(base, Point{Config: cfg})); claimed {
 		t.Fatal("repeat exact-point claim should hit")
 	}
 }
@@ -58,7 +58,7 @@ func TestFast32NormalizedForNonDQN(t *testing.T) {
 		t.Fatal("withFloor must clear Fast32 for non-DQN engines")
 	}
 	o2 := cacheTestOptions()
-	if pointKey(of, cfg) != pointKey(o2.withFloor(), cfg) {
+	if pointKey(of, Point{Config: cfg}) != pointKey(o2.withFloor(), Point{Config: cfg}) {
 		t.Fatal("MDP point keys must be identical regardless of the fast32 flag")
 	}
 
@@ -78,12 +78,12 @@ func TestPointKeyCarriesFast32Tag(t *testing.T) {
 	o := cacheTestOptions()
 	o.Engine = EngineDQN
 	o.Fast32 = true
-	key := PointKey(o, cfg)
+	key := PointKey(o, Point{Config: cfg})
 	if !strings.Contains(key, "fast=true") {
 		t.Fatalf("point key %q does not carry the fast32 tag", key)
 	}
 	o.Fast32 = false
-	if !strings.Contains(PointKey(o, cfg), "fast=false") {
-		t.Fatalf("point key %q does not carry the fast32 tag", PointKey(o, cfg))
+	if !strings.Contains(PointKey(o, Point{Config: cfg}), "fast=false") {
+		t.Fatalf("point key %q does not carry the fast32 tag", PointKey(o, Point{Config: cfg}))
 	}
 }

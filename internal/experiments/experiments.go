@@ -13,8 +13,6 @@ import (
 	"runtime"
 	"sort"
 	"strings"
-
-	"ctjam/internal/env"
 )
 
 // ErrUnknownExperiment is returned (wrapped) by Run and Describe for ids
@@ -193,10 +191,10 @@ type entry struct {
 	id     string
 	desc   string
 	runner Runner
-	// points enumerates the env configs of every sweep point the runner
+	// points enumerates every sweep point (env config + defense) the runner
 	// evaluates through the point cache; nil for experiments whose compute
 	// is not cache-backed (PHY Monte-Carlo, field simulator, training).
-	points func(Options) []env.Config
+	points func(Options) []Point
 	// fields enumerates the field-simulator runs the runner evaluates
 	// through the field cache (fig10/fig11/scale); nil otherwise. These are
 	// the whole-simulation replica units distributed execution ships.
@@ -215,7 +213,7 @@ func buildRegistry() []entry {
 		es = append(es, entry{
 			id: id, desc: desc,
 			runner: sweepRunner(sw, m),
-			points: func(o Options) []env.Config { return sweepConfigs(sw, o) },
+			points: func(o Options) []Point { return asPoints(sweepConfigs(sw, o)) },
 		})
 	}
 	add("fig2b", "PER & throughput vs jamming distance (analytic SINR model)", runFig2b)
@@ -255,12 +253,17 @@ func buildRegistry() []entry {
 	es = append(es, entry{
 		id: "table1", desc: "Table I metrics at the paper's default parameters",
 		runner: runTable1,
-		points: table1Configs,
+		points: func(o Options) []Point { return asPoints(table1Configs(o)) },
 	})
 	es = append(es, entry{
 		id: "table1-seeds", desc: "Table I metrics with spread over evaluation seeds",
 		runner: runTable1Seeds,
-		points: table1SeedConfigs,
+		points: func(o Options) []Point { return asPoints(table1SeedConfigs(o)) },
+	})
+	es = append(es, entry{
+		id: "matchup", desc: "defense scheme ranking across the adversarial jammer zoo",
+		runner: runMatchup,
+		points: matchupPoints,
 	})
 	add("train", "DQN training statistics (§IV-B)", runTrain)
 	return es

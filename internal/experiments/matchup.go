@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"ctjam/internal/env"
+	"ctjam/internal/jammer"
+)
+
+// The matchup experiment ranks every defense scheme against every attacker in
+// the jammer zoo: a seedable scenario generator samples a mixed roster of
+// strategies (sweep, reactive, adaptive, energy-budgeted), each defense runs
+// against each scenario in the paper's default environment, and the output is
+// a ranking table of success-rate-of-transmission (ST) per cell plus a mean
+// column, sorted best defense first. Every cell is an ordinary cache-backed
+// sweep point, so matchup results memoize, deduplicate and distribute exactly
+// like the Figs. 6-8 panels.
+
+// matchupScenarioCount is the size of the sampled attacker roster. With four
+// registered kinds assigned round-robin, eight scenarios cover every kind
+// twice with different sampled parameters.
+const matchupScenarioCount = 8
+
+// matchupDefenses lists the defense side of the matchup: the engine-selected
+// RL FH plus every deterministic baseline.
+var matchupDefenses = []struct {
+	tag  string
+	name string
+}{
+	{DefenseRL, "RL FH"},
+	{DefensePassive, "PSV FH"},
+	{DefenseRandom, "Rand FH"},
+	{DefenseStatic, "Static"},
+}
+
+// matchupScenarios samples the attacker roster for one options seed. The
+// generator is deterministic and the count is a registry constant, so the
+// roster — like a sweep's x-axis — is a pure function of Options.
+func matchupScenarios(o Options) []jammer.Scenario {
+	scs, err := jammer.GenerateScenarios(jammer.ScenarioSpec{Seed: o.Seed, Count: matchupScenarioCount})
+	if err != nil {
+		// Count is an in-range constant and Kinds defaults to the registry;
+		// generation cannot fail.
+		panic(fmt.Sprintf("experiments: matchup scenario generation failed: %v", err))
+	}
+	return scs
+}
+
+// matchupPoints enumerates the full defense × attacker grid, defenses-major,
+// matching the series layout of runMatchup.
+func matchupPoints(o Options) []Point {
+	scs := matchupScenarios(o)
+	pts := make([]Point, 0, len(matchupDefenses)*len(scs))
+	for _, d := range matchupDefenses {
+		for _, sc := range scs {
+			cfg := env.DefaultConfig()
+			cfg.Seed = o.Seed
+			cfg.Jammer = sc.Spec.String()
+			pts = append(pts, Point{Config: cfg, Defense: d.tag})
+		}
+	}
+	return pts
+}
+
+// runMatchup evaluates the grid and renders the ranking table: one series per
+// defense with the per-scenario ST values plus a trailing mean column, sorted
+// by mean ST descending.
+func runMatchup(o Options) (*Result, error) {
+	scs := matchupScenarios(o)
+	res := &Result{
+		Title:  "defense schemes vs the adversarial jammer zoo",
+		XLabel: "attacker",
+		YLabel: "success rate of transmission (%)",
+	}
+	for _, sc := range scs {
+		res.XTicks = append(res.XTicks, sc.Label)
+	}
+	res.XTicks = append(res.XTicks, "mean")
+	res.PaperNote = "beyond the paper: the §II-C sweeper is one column; reactive/adaptive/budgeted attackers probe the same defenses"
+
+	pts := matchupPoints(o)
+	counters, err := runPoints(o, pts, func(p int) string {
+		n := len(scs)
+		return fmt.Sprintf("matchup defense=%s attacker=%s", matchupDefenses[p/n].name, scs[p%n].Label)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(scs)
+	for di, d := range matchupDefenses {
+		s := Series{Name: d.name, X: make([]float64, n+1), Y: make([]float64, n+1)}
+		sum := 0.0
+		for si := 0; si < n; si++ {
+			v := 100 * counters[di*n+si].ST()
+			s.X[si] = float64(si)
+			s.Y[si] = v
+			sum += v
+		}
+		s.X[n] = float64(n)
+		s.Y[n] = sum / float64(n)
+		res.Series = append(res.Series, s)
+	}
+	// Rank best mean ST first. The sort is stable so equal means keep the
+	// deterministic defense order.
+	sort.SliceStable(res.Series, func(i, j int) bool {
+		return res.Series[i].Y[n] > res.Series[j].Y[n]
+	})
+	return res, nil
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ctjam/internal/env"
+)
+
+// matchupTestOptions keeps the matchup conformance runs cheap: the MDP engine
+// needs no training epochs and short evaluations still separate the defenses.
+func matchupTestOptions() Options {
+	return Options{
+		Slots:      400,
+		Engine:     EngineMDP,
+		TrainSlots: 400,
+		Seed:       3,
+		Workers:    1,
+	}
+}
+
+// TestMatchupSerialParallelByteIdentical is the matchup leg of the
+// cross-strategy conformance suite: the full defense × attacker grid must
+// render byte-for-byte the same ranking table whether the cells are
+// evaluated serially or by a worker pool.
+func TestMatchupSerialParallelByteIdentical(t *testing.T) {
+	serial := matchupTestOptions()
+	par := matchupTestOptions()
+	par.Workers = 4
+
+	rs, err := Run("matchup", serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Run("matchup", par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("matchup result differs between 1 and 4 workers:\nserial:   %s\nparallel: %s", a, b)
+	}
+}
+
+// TestMatchupGridShape pins the grid enumeration: defenses-major over the
+// sampled scenario roster, every cell on the paper's default environment with
+// only seed and jammer spec varying.
+func TestMatchupGridShape(t *testing.T) {
+	o := matchupTestOptions()
+	scs := matchupScenarios(o)
+	if len(scs) != matchupScenarioCount {
+		t.Fatalf("scenario roster has %d entries, want %d", len(scs), matchupScenarioCount)
+	}
+	pts := matchupPoints(o)
+	if want := len(matchupDefenses) * len(scs); len(pts) != want {
+		t.Fatalf("grid has %d points, want %d", len(pts), want)
+	}
+	for i, p := range pts {
+		d := matchupDefenses[i/len(scs)]
+		sc := scs[i%len(scs)]
+		if p.Defense != d.tag {
+			t.Errorf("point %d defense %q, want %q (defenses-major order)", i, p.Defense, d.tag)
+		}
+		if got, want := p.Config.Jammer, sc.Spec.String(); got != want {
+			t.Errorf("point %d jammer %q, want %q", i, got, want)
+		}
+		if p.Config.Seed != o.Seed {
+			t.Errorf("point %d seed %d, want %d", i, p.Config.Seed, o.Seed)
+		}
+		ref := env.DefaultConfig()
+		ref.Seed = o.Seed
+		ref.Jammer = p.Config.Jammer
+		if got, want := p.Config.Fingerprint(), ref.Fingerprint(); got != want {
+			t.Errorf("point %d strays from the default environment: %q != %q", i, got, want)
+		}
+	}
+}
+
+// TestMatchupRankingTable pins the rendered table: one series per defense
+// carrying per-scenario ST plus a trailing mean column, sorted best mean
+// first.
+func TestMatchupRankingTable(t *testing.T) {
+	o := matchupTestOptions()
+	res, err := Run("matchup", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := matchupScenarioCount
+	if len(res.XTicks) != n+1 || res.XTicks[n] != "mean" {
+		t.Fatalf("xticks %v, want %d scenario labels plus a trailing mean", res.XTicks, n)
+	}
+	if len(res.Series) != len(matchupDefenses) {
+		t.Fatalf("got %d series, want %d", len(res.Series), len(matchupDefenses))
+	}
+	names := make(map[string]bool)
+	for _, d := range matchupDefenses {
+		names[d.name] = true
+	}
+	for i, s := range res.Series {
+		if !names[s.Name] {
+			t.Errorf("series %d has unknown defense name %q", i, s.Name)
+		}
+		delete(names, s.Name)
+		if len(s.Y) != n+1 {
+			t.Fatalf("series %q has %d values, want %d", s.Name, len(s.Y), n+1)
+		}
+		sum := 0.0
+		for _, v := range s.Y[:n] {
+			if v < 0 || v > 100 {
+				t.Errorf("series %q ST %v out of [0,100]", s.Name, v)
+			}
+			sum += v
+		}
+		if got, want := s.Y[n], sum/float64(n); got != want {
+			t.Errorf("series %q mean column %v, want %v", s.Name, got, want)
+		}
+		if i > 0 && res.Series[i-1].Y[n] < s.Y[n] {
+			t.Errorf("ranking out of order: %q (mean %v) listed before %q (mean %v)",
+				res.Series[i-1].Name, res.Series[i-1].Y[n], s.Name, s.Y[n])
+		}
+	}
+	if len(names) != 0 {
+		t.Errorf("defenses missing from the table: %v", names)
+	}
+	if !strings.Contains(res.PaperNote, "beyond the paper") {
+		t.Errorf("matchup result should flag itself as beyond the paper, got note %q", res.PaperNote)
+	}
+}

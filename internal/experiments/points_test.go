@@ -8,7 +8,6 @@ import (
 	"testing"
 	"time"
 
-	"ctjam/internal/env"
 	"ctjam/internal/metrics"
 	"ctjam/internal/policy"
 )
@@ -29,8 +28,8 @@ func TestCachePointsSortedAndDeduplicated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 88 {
-		t.Errorf("full id set yields %d unique points, want 88", len(all))
+	if len(all) != 115 {
+		t.Errorf("full id set yields %d unique points, want 115", len(all))
 	}
 	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Key < all[j].Key }) {
 		t.Error("CachePoints output is not sorted by key")
@@ -79,7 +78,7 @@ func TestPointKeyMatchesCachePoints(t *testing.T) {
 		t.Fatalf("table1 yields %d points, want 2", len(specs))
 	}
 	for _, sp := range specs {
-		if got := PointKey(o, sp.Config); got != sp.Key {
+		if got := PointKey(o, Point{Config: sp.Config, Defense: sp.Defense}); got != sp.Key {
 			t.Errorf("PointKey = %q, CachePoints key = %q", got, sp.Key)
 		}
 	}
@@ -91,14 +90,14 @@ func TestImportPointServesCacheHits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfgs := make([]env.Config, len(specs))
+	pts := make([]Point, len(specs))
 	for i, sp := range specs {
-		cfgs[i] = sp.Config
+		pts[i] = Point{Config: sp.Config, Defense: sp.Defense}
 	}
 
 	o1 := o
 	o1.Cache = NewCache()
-	want, err := EvaluatePoints(o1, cfgs)
+	want, err := EvaluatePoints(o1, pts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +112,7 @@ func TestImportPointServesCacheHits(t *testing.T) {
 
 	o2 := o
 	o2.Cache = imported
-	got, err := EvaluatePoints(o2, cfgs)
+	got, err := EvaluatePoints(o2, pts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,11 +143,11 @@ func TestRunPointsContextCancel(t *testing.T) {
 	defer cancel()
 	o.Cache = cache
 	o.Context = ctx
-	cfgs := make([]env.Config, len(specs))
+	pts := make([]Point, len(specs))
 	for i, sp := range specs {
-		cfgs[i] = sp.Config
+		pts[i] = Point{Config: sp.Config, Defense: sp.Defense}
 	}
-	_, err = EvaluatePoints(o, cfgs)
+	_, err = EvaluatePoints(o, pts)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("waiting on a dead claimant: err = %v, want deadline exceeded", err)
 	}

@@ -235,7 +235,7 @@ func sweepRunner(sw sweep, m metric) Runner {
 		}
 		nx := len(sw.xs)
 		cfgs := sweepConfigs(sw, o)
-		counters, err := runPoints(o, cfgs, func(p int) string {
+		counters, err := runPoints(o, asPoints(cfgs), func(p int) string {
 			return fmt.Sprintf("%s=%v mode=%v", sw.name, sw.xs[p%nx], sweepModes[p/nx].mode)
 		})
 		if err != nil {
@@ -267,7 +267,7 @@ func runTable1(o Options) (*Result, error) {
 		XTicks:    []string{"ST", "AH", "SH", "AP", "SP"},
 		PaperNote: "Table I defines ST/AH/SH/AP/SP; §IV-C reports ST~78% at the defaults",
 	}
-	counters, err := runPoints(o, table1Configs(o), func(p int) string {
+	counters, err := runPoints(o, asPoints(table1Configs(o)), func(p int) string {
 		return fmt.Sprintf("table1 mode=%v", sweepModes[p].mode)
 	})
 	if err != nil {
@@ -301,7 +301,7 @@ func runTable1Seeds(o Options) (*Result, error) {
 		XTicks:    []string{"ST", "AH", "SH", "AP", "SP"},
 		PaperNote: "Table I defines ST/AH/SH/AP/SP; seed replication bounds the run-to-run spread of §IV-C's numbers",
 	}
-	counters, err := runPoints(o, table1SeedConfigs(o), func(p int) string {
+	counters, err := runPoints(o, asPoints(table1SeedConfigs(o)), func(p int) string {
 		return fmt.Sprintf("table1 mode=%v seed+%d",
 			sweepModes[p/table1SeedCount].mode, p%table1SeedCount)
 	})

@@ -44,9 +44,9 @@ type jamSpan struct {
 // Not safe for concurrent use; the engine runs each cluster on exactly one
 // worker at a time.
 type cluster struct {
-	cfg     Config
-	rng     *rand.Rand
-	sweeper *jammer.Sweeper
+	cfg Config
+	rng *rand.Rand
+	jam jammer.Strategy
 
 	now         time.Duration
 	nextJamSlot time.Duration
@@ -102,13 +102,13 @@ func (c *cluster) reset() error {
 		c.frameSymbols = syms
 	}
 	if c.cfg.JammerEnabled {
-		sw, err := jammer.NewSweeper(c.cfg.Channels, c.cfg.SweepWidth, c.cfg.JamPowers, c.cfg.JammerMode, c.rng)
+		jam, err := jammer.New(c.cfg.Jammer, c.cfg.Channels, c.cfg.SweepWidth, c.cfg.JamPowers, c.cfg.JammerMode, c.rng)
 		if err != nil {
 			return fmt.Errorf("iot: build jammer: %w", err)
 		}
-		c.sweeper = sw
+		c.jam = jam
 	} else {
-		c.sweeper = nil
+		c.jam = nil
 	}
 	c.arbiter = nil
 	if c.cfg.UseCSMA {
@@ -127,16 +127,19 @@ func (c *cluster) reset() error {
 // trim preserves it, so the slice stays sorted — the slot wheel relies on
 // that.
 func (c *cluster) advanceJammer(victimChannel int, horizon time.Duration) error {
-	if c.sweeper == nil {
+	if c.jam == nil {
 		return nil
 	}
 	for c.nextJamSlot < horizon {
-		jammed, power, err := c.sweeper.Step(victimChannel)
+		jammed, power, err := c.jam.Step(victimChannel)
 		if err != nil {
 			return err
 		}
 		if jammed {
-			block, _ := c.sweeper.LockedBlock()
+			// A jammed slot means the emission covers the victim's block,
+			// whatever the strategy (for the sweeper this equals its locked
+			// block).
+			block := victimChannel / c.cfg.SweepWidth
 			c.spans = append(c.spans, jamSpan{
 				start: c.nextJamSlot,
 				end:   c.nextJamSlot + c.cfg.JammerSlot,

@@ -41,6 +41,10 @@ type Config struct {
 	TxPowers   []float64
 	JamPowers  []float64
 	JammerMode jammer.PowerMode
+	// Jammer selects the attacker strategy by spec string (see
+	// jammer.ParseSpec); empty means the paper's sweeper. Ignored when
+	// JammerEnabled is false.
+	Jammer string
 	// Seed drives all randomness.
 	Seed int64
 	// Faults optionally injects impairments per Tx slot: burst noise on
@@ -90,6 +94,9 @@ func (c Config) Validate() error {
 	}
 	if len(c.TxPowers) == 0 || len(c.JamPowers) == 0 {
 		return fmt.Errorf("iot: power level lists must be non-empty")
+	}
+	if _, err := jammer.ParseSpec(c.Jammer); err != nil {
+		return fmt.Errorf("iot: jammer spec: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,110 @@
+package jammer
+
+import "fmt"
+
+// KindBudget is the Budget strategy kind.
+const KindBudget = "budget"
+
+// Budget is an energy-budgeted wrapper composable over any Strategy: the
+// wrapped attacker decides *where* to jam, the wrapper decides *whether* the
+// battery allows it. Energy accrues as a credit of `duty` units per slot,
+// capped at `burst` (the battery size, also the initial charge); transmitting
+// for one slot costs one unit. With duty=1 the wrapper is transparent; with
+// duty=0.25 the attacker jams at most a quarter of the slots, saving charge
+// while its inner strategy is off-target and spending it in bursts once
+// locked on.
+//
+// The inner strategy always steps, even in slots the budget silences, so its
+// learning/sweeping state and RNG draws are identical to an unconstrained
+// run — the wrapper only gates emission.
+//
+// Not safe for concurrent use.
+type Budget struct {
+	inner Strategy
+	duty  float64 // energy income per slot, in (0,1]
+	burst int     // battery capacity in slot-transmissions (>= 1)
+
+	credit float64 // current charge, in [0,burst]
+}
+
+// NewBudget wraps inner with a duty-cycle energy budget.
+func NewBudget(inner Strategy, duty float64, burst int) (*Budget, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("jammer: budget inner strategy must not be nil")
+	}
+	if duty <= 0 || duty > 1 {
+		return nil, fmt.Errorf("jammer: budget duty %v out of range (0,1]", duty)
+	}
+	if burst < 1 || burst > maxBudgetBurst {
+		return nil, fmt.Errorf("jammer: budget burst %d out of range [1,%d]", burst, maxBudgetBurst)
+	}
+	return &Budget{inner: inner, duty: duty, burst: burst, credit: float64(burst)}, nil
+}
+
+// Kind implements Strategy.
+func (b *Budget) Kind() string { return KindBudget }
+
+// Inner returns the wrapped strategy.
+func (b *Budget) Inner() Strategy { return b.inner }
+
+// Focus implements Strategy, delegating to the wrapped attacker: the budget
+// changes when energy is spent, not where it is aimed.
+func (b *Budget) Focus() (block int, ok bool) { return b.inner.Focus() }
+
+// Reset implements Strategy: full battery, fresh inner attacker.
+func (b *Budget) Reset() {
+	b.inner.Reset()
+	b.credit = float64(b.burst)
+}
+
+// Step implements Strategy. The inner strategy steps unconditionally (keeping
+// its state and RNG draws identical to an unconstrained run); its jamming
+// decision is then emitted only if at least one full unit of charge is
+// available.
+func (b *Budget) Step(victimChannel int) (jammed bool, power float64, err error) {
+	b.credit += b.duty
+	if max := float64(b.burst); b.credit > max {
+		b.credit = max
+	}
+	jammed, power, err = b.inner.Step(victimChannel)
+	if err != nil {
+		return false, 0, err
+	}
+	if !jammed {
+		return false, 0, nil
+	}
+	if b.credit < 1 {
+		return false, 0, nil
+	}
+	b.credit--
+	return true, power, nil
+}
+
+// State implements Strategy. Layout: Floats = [credit]; Inner = the wrapped
+// strategy's snapshot.
+func (b *Budget) State() State {
+	in := b.inner.State()
+	return State{Kind: KindBudget, Floats: []float64{b.credit}, Inner: &in}
+}
+
+// SetState implements Strategy.
+func (b *Budget) SetState(st State) error {
+	if err := checkKind(st, KindBudget); err != nil {
+		return err
+	}
+	if len(st.Floats) != 1 {
+		return fmt.Errorf("jammer: budget state needs 1 float, got %d", len(st.Floats))
+	}
+	credit := st.Floats[0]
+	if credit < 0 || credit > float64(b.burst) || credit != credit {
+		return fmt.Errorf("jammer: budget credit %v out of range [0,%d]", credit, b.burst)
+	}
+	if st.Inner == nil {
+		return fmt.Errorf("jammer: budget state missing inner strategy state")
+	}
+	if err := b.inner.SetState(*st.Inner); err != nil {
+		return err
+	}
+	b.credit = credit
+	return nil
+}

@@ -1,8 +1,12 @@
-// Package jammer models the paper's cross-technology jammer (§II-C): a
-// Wi-Fi device that sweeps the 16 ZigBee channels in blocks of m consecutive
-// channels per time slot (m=4 for EmuBee, giving a 4-slot sweep cycle),
-// locks onto the victim's channel block once it senses the victim, jams with
-// a mode-dependent power level, and resumes sweeping when the victim leaves.
+// Package jammer models cross-technology attackers against a ZigBee victim.
+// The paper's jammer (§II-C) is a Wi-Fi device that sweeps the 16 ZigBee
+// channels in blocks of m consecutive channels per time slot (m=4 for EmuBee,
+// giving a 4-slot sweep cycle), locks onto the victim's channel block once it
+// senses the victim, jams with a mode-dependent power level, and resumes
+// sweeping when the victim leaves. The package generalizes that attacker into
+// a pluggable Strategy zoo — sweep, reactive, learning/adaptive and
+// energy-budgeted jammers — selected by a canonical spec string (see
+// ParseSpec) and sampled into mixed scenarios by GenerateScenarios.
 package jammer
 
 import (
@@ -34,15 +38,14 @@ func (m PowerMode) String() string {
 	}
 }
 
-// Sweeper is the time-slotted frequency-sweeping jammer. It is not safe for
-// concurrent use.
+// KindSweep is the Sweeper's Strategy kind.
+const KindSweep = "sweep"
+
+// Sweeper is the paper's time-slotted frequency-sweeping jammer. It is not
+// safe for concurrent use.
 type Sweeper struct {
-	channels int
-	width    int
-	blocks   int
-	powers   []float64
-	mode     PowerMode
-	rng      *rand.Rand
+	geom
+	emitter
 
 	remaining []int // blocks not yet scanned in the current cycle
 	locked    bool
@@ -52,46 +55,21 @@ type Sweeper struct {
 // NewSweeper builds a jammer over `channels` channels scanning `width`
 // consecutive channels per slot with the given power levels.
 func NewSweeper(channels, width int, powers []float64, mode PowerMode, rng *rand.Rand) (*Sweeper, error) {
-	if channels <= 0 {
-		return nil, fmt.Errorf("jammer: channels %d must be positive", channels)
+	g, err := newGeom(channels, width)
+	if err != nil {
+		return nil, err
 	}
-	if width <= 0 || width > channels {
-		return nil, fmt.Errorf("jammer: sweep width %d out of range [1,%d]", width, channels)
+	em, err := newEmitter(powers, mode, rng)
+	if err != nil {
+		return nil, err
 	}
-	if len(powers) == 0 {
-		return nil, fmt.Errorf("jammer: at least one power level required")
-	}
-	if mode != ModeMax && mode != ModeRandom {
-		return nil, fmt.Errorf("jammer: unknown power mode %d", mode)
-	}
-	if rng == nil {
-		return nil, fmt.Errorf("jammer: rng must not be nil")
-	}
-	ps := make([]float64, len(powers))
-	copy(ps, powers)
-	s := &Sweeper{
-		channels: channels,
-		width:    width,
-		blocks:   (channels + width - 1) / width,
-		powers:   ps,
-		mode:     mode,
-		rng:      rng,
-	}
+	s := &Sweeper{geom: g, emitter: em}
 	s.refill()
 	return s, nil
 }
 
-// Blocks returns the number of channel blocks, i.e. the sweep cycle length
-// ceil(K/m).
-func (s *Sweeper) Blocks() int { return s.blocks }
-
-// BlockOf returns the block index covering the channel.
-func (s *Sweeper) BlockOf(channel int) (int, error) {
-	if channel < 0 || channel >= s.channels {
-		return 0, fmt.Errorf("jammer: channel %d out of range [0,%d)", channel, s.channels)
-	}
-	return channel / s.width, nil
-}
+// Kind implements Strategy.
+func (s *Sweeper) Kind() string { return KindSweep }
 
 // Locked reports whether the jammer is currently locked onto a block.
 func (s *Sweeper) Locked() bool { return s.locked }
@@ -105,9 +83,13 @@ func (s *Sweeper) LockedBlock() (block int, ok bool) {
 	return s.lockBlock, true
 }
 
+// Focus implements Strategy: the locked block, when locked.
+func (s *Sweeper) Focus() (block int, ok bool) { return s.LockedBlock() }
+
 // Reset returns the sweeper to the beginning of a fresh cycle.
 func (s *Sweeper) Reset() {
 	s.locked = false
+	s.lockBlock = 0
 	s.refill()
 }
 
@@ -131,69 +113,55 @@ func (s *Sweeper) popRandomBlock() int {
 	return b
 }
 
-// Power draws the jamming power for one slot according to the mode.
-func (s *Sweeper) Power() float64 {
-	switch s.mode {
-	case ModeRandom:
-		return s.powers[s.rng.Intn(len(s.powers))]
-	default:
-		best := s.powers[0]
-		for _, p := range s.powers[1:] {
-			if p > best {
-				best = p
-			}
-		}
-		return best
-	}
-}
+// Power draws the jamming power for one slot according to the mode. The
+// ModeMax level is precomputed at construction (see emitter), so a jammed
+// slot no longer rescans the power table.
+func (s *Sweeper) Power() float64 { return s.emit() }
 
 // MaxPower returns the largest configured power level.
-func (s *Sweeper) MaxPower() float64 {
-	best := s.powers[0]
-	for _, p := range s.powers[1:] {
-		if p > best {
-			best = p
-		}
+func (s *Sweeper) MaxPower() float64 { return s.maxPower }
+
+// State implements Strategy. Layout: Ints = [locked, lockBlock,
+// remaining...]. The sweeper's RNG is shared with (and captured by) its
+// owner, so the state here is only the sweep-cycle progress and lock status.
+func (s *Sweeper) State() State {
+	ints := make([]int64, 0, 2+len(s.remaining))
+	ints = append(ints, boolInt(s.locked), int64(s.lockBlock))
+	for _, b := range s.remaining {
+		ints = append(ints, int64(b))
 	}
-	return best
+	return State{Kind: KindSweep, Ints: ints}
 }
 
-// SweeperState is a serializable snapshot of a Sweeper's mutable state. The
-// sweeper's RNG is shared with (and captured by) its owner, so the state here
-// is only the sweep-cycle progress and lock status.
-type SweeperState struct {
-	// Remaining are the blocks not yet scanned in the current cycle.
-	Remaining []int
-	// Locked / LockBlock mirror the lock status.
-	Locked    bool
-	LockBlock int
-}
-
-// State snapshots the sweeper for checkpointing.
-func (s *Sweeper) State() SweeperState {
-	return SweeperState{
-		Remaining: append([]int(nil), s.remaining...),
-		Locked:    s.locked,
-		LockBlock: s.lockBlock,
+// SetState implements Strategy, restoring a snapshot taken with State.
+func (s *Sweeper) SetState(st State) error {
+	if err := checkKind(st, KindSweep); err != nil {
+		return err
 	}
-}
-
-// SetState restores a snapshot taken with State.
-func (s *Sweeper) SetState(st SweeperState) error {
-	if len(st.Remaining) > s.blocks {
-		return fmt.Errorf("jammer: state has %d remaining blocks, sweeper has %d", len(st.Remaining), s.blocks)
+	if len(st.Ints) < 2 {
+		return fmt.Errorf("jammer: sweep state needs >= 2 ints, got %d", len(st.Ints))
 	}
-	for _, b := range st.Remaining {
-		if b < 0 || b >= s.blocks {
+	locked, lockBlock, rem := st.Ints[0], st.Ints[1], st.Ints[2:]
+	if locked != 0 && locked != 1 {
+		return fmt.Errorf("jammer: sweep lock flag %d must be 0 or 1", locked)
+	}
+	if len(rem) > s.blocks {
+		return fmt.Errorf("jammer: state has %d remaining blocks, sweeper has %d", len(rem), s.blocks)
+	}
+	for _, b := range rem {
+		if b < 0 || b >= int64(s.blocks) {
 			return fmt.Errorf("jammer: state block %d out of range [0,%d)", b, s.blocks)
 		}
 	}
-	if st.Locked && (st.LockBlock < 0 || st.LockBlock >= s.blocks) {
-		return fmt.Errorf("jammer: locked block %d out of range [0,%d)", st.LockBlock, s.blocks)
+	if locked == 1 && (lockBlock < 0 || lockBlock >= int64(s.blocks)) {
+		return fmt.Errorf("jammer: locked block %d out of range [0,%d)", lockBlock, s.blocks)
 	}
-	s.remaining = append(s.remaining[:0], st.Remaining...)
-	s.locked = st.Locked
-	s.lockBlock = st.LockBlock
+	s.remaining = s.remaining[:0]
+	for _, b := range rem {
+		s.remaining = append(s.remaining, int(b))
+	}
+	s.locked = locked == 1
+	s.lockBlock = int(lockBlock)
 	return nil
 }
 
@@ -213,7 +181,7 @@ func (s *Sweeper) Step(victimChannel int) (jammed bool, power float64, err error
 	}
 	if s.locked {
 		if victimBlock == s.lockBlock {
-			return true, s.Power(), nil
+			return true, s.emit(), nil
 		}
 		// Victim escaped: the jammer spends this slot detecting the
 		// departure and restarts its sweep next slot.
@@ -225,7 +193,7 @@ func (s *Sweeper) Step(victimChannel int) (jammed bool, power float64, err error
 	if scanned == victimBlock {
 		s.locked = true
 		s.lockBlock = scanned
-		return true, s.Power(), nil
+		return true, s.emit(), nil
 	}
 	return false, 0, nil
 }

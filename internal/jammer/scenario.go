@@ -1,0 +1,117 @@
+package jammer
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// maxScenarioCount bounds a single generation request.
+const maxScenarioCount = 64
+
+// ScenarioSpec configures the seedable scenario generator: how many attacker
+// scenarios to sample, from which strategy kinds, under which seed. The
+// generator is deterministic — equal specs produce equal scenario lists.
+type ScenarioSpec struct {
+	// Seed drives all sampling.
+	Seed int64
+	// Count is the number of scenarios to generate, in [1,64].
+	Count int
+	// Kinds restricts sampling to a subset of Kinds(); empty means all
+	// registered kinds. Kinds are assigned round-robin, so any Count >=
+	// len(Kinds) covers every kind at least once.
+	Kinds []string
+}
+
+// Scenario is one sampled attacker: a strategy spec plus the placement knobs
+// the field engine uses to position the jammer in time.
+type Scenario struct {
+	// Label is a short stable name for tables and plots, e.g. "reactive#2".
+	Label string
+	// Spec is the sampled strategy configuration.
+	Spec Spec
+	// SlotPhase is a sampled jammer clock phase in [0,4) for consumers
+	// that position the attacker in time (e.g. field scenarios where the
+	// attacker powers up mid-run). The slot-level matchup experiment does
+	// not consume it: its environment steps victim and jammer in lockstep.
+	SlotPhase int
+}
+
+// GenerateScenarios samples Count attacker scenarios. Strategy kinds are
+// assigned round-robin (guaranteeing coverage before repetition); parameters
+// are drawn from small per-kind palettes so canonical spec strings stay
+// short, stable and human-readable.
+func GenerateScenarios(ss ScenarioSpec) ([]Scenario, error) {
+	if ss.Count < 1 || ss.Count > maxScenarioCount {
+		return nil, fmt.Errorf("jammer: scenario count %d out of range [1,%d]", ss.Count, maxScenarioCount)
+	}
+	kinds := ss.Kinds
+	if len(kinds) == 0 {
+		kinds = Kinds()
+	}
+	for _, k := range kinds {
+		if _, err := defaultSpec(k); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(ss.Seed))
+	out := make([]Scenario, 0, ss.Count)
+	perKind := make(map[string]int, len(kinds))
+	for i := 0; i < ss.Count; i++ {
+		kind := kinds[i%len(kinds)]
+		sp := sampleSpec(kind, rng)
+		perKind[kind]++
+		out = append(out, Scenario{
+			Label:     fmt.Sprintf("%s#%d", kind, perKind[kind]),
+			Spec:      sp,
+			SlotPhase: rng.Intn(4),
+		})
+	}
+	return out, nil
+}
+
+// Parameter palettes for sampled scenarios. Values are chosen to span the
+// interesting regimes (instant vs. laggy sensing, greedy vs. exploring
+// learners, tight vs. loose batteries) while keeping canonical strings short.
+var (
+	reactiveDelays  = []int{0, 1, 2, 4}
+	reactiveMisses  = []float64{0, 0.1, 0.2}
+	reactiveHolds   = []int{0, 1, 3}
+	adaptiveAlphas  = []float64{0.05, 0.1, 0.2, 0.5}
+	adaptiveExplors = []float64{0, 0.05, 0.1}
+	budgetDuties    = []float64{0.25, 0.5, 0.75}
+	budgetBursts    = []int{1, 2, 4}
+)
+
+func sampleSpec(kind string, rng *rand.Rand) Spec {
+	switch kind {
+	case KindReactive:
+		return Spec{
+			Kind:  KindReactive,
+			Delay: reactiveDelays[rng.Intn(len(reactiveDelays))],
+			Miss:  reactiveMisses[rng.Intn(len(reactiveMisses))],
+			Hold:  reactiveHolds[rng.Intn(len(reactiveHolds))],
+		}
+	case KindAdaptive:
+		return Spec{
+			Kind:    KindAdaptive,
+			Alpha:   adaptiveAlphas[rng.Intn(len(adaptiveAlphas))],
+			Explore: adaptiveExplors[rng.Intn(len(adaptiveExplors))],
+		}
+	case KindBudget:
+		inner := Spec{Kind: KindSweep}
+		switch rng.Intn(3) {
+		case 1:
+			inner = Spec{Kind: KindReactive, Delay: DefaultReactiveDelay}
+		case 2:
+			inner = Spec{Kind: KindAdaptive, Alpha: DefaultAdaptiveAlpha, Explore: DefaultAdaptiveExpl}
+		}
+		return Spec{
+			Kind:  KindBudget,
+			Duty:  budgetDuties[rng.Intn(len(budgetDuties))],
+			Burst: budgetBursts[rng.Intn(len(budgetBursts))],
+			Inner: &inner,
+		}
+	default:
+		return Spec{Kind: KindSweep}
+	}
+}

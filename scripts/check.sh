@@ -68,6 +68,7 @@ go test -run '^$' -fuzz FuzzWifiPPDUDecode -fuzztime "$FUZZTIME" ./internal/phy/
 go test -run '^$' -fuzz FuzzCheckpointLoad -fuzztime "$FUZZTIME" ./internal/rl
 go test -run '^$' -fuzz FuzzForwardBatchEngines -fuzztime "$FUZZTIME" ./internal/nn
 go test -run '^$' -fuzz FuzzSchemeRoundTrip -fuzztime "$FUZZTIME" ./internal/core
+go test -run '^$' -fuzz FuzzJammerSpec -fuzztime "$FUZZTIME" ./internal/jammer
 
 # Coverage floor: the signal-processing and learner packages back every
 # experiment, and the experiment harness and policy engine back every
@@ -87,19 +88,22 @@ go test -cover ./internal/phy/... ./internal/rl ./internal/experiments ./interna
 
 # Higher floors for the inference hot path: internal/nn carries the asm
 # kernels and their equivalence harness (>=80%), internal/serve the
-# production decision surface (>=75%), and internal/iot the sharded field
-# engine whose determinism guarantees every committed field number (>=75%).
-go test -cover ./internal/nn ./internal/serve ./internal/iot | awk '
+# production decision surface (>=75%), internal/iot the sharded field
+# engine whose determinism guarantees every committed field number (>=75%),
+# and internal/jammer the adversary zoo whose strategies feed every cache
+# key and golden trace (>=85%).
+go test -cover ./internal/nn ./internal/serve ./internal/iot ./internal/jammer | awk '
 	{ print }
 	/^(FAIL|---)/ { bad = 1 }
 	/coverage:/ {
 		floor = 75
 		if ($2 ~ /internal\/nn$/) floor = 80
+		if ($2 ~ /internal\/jammer$/) floor = 85
 		for (i = 1; i < NF; i++) if ($i == "coverage:") {
 			p = $(i + 1)
 			sub(/%/, "", p)
 			if (p + 0 < floor) bad = 1
 		}
 	}
-	END { if (bad) { print "coverage gate failed (nn below 80%, serve below 75%, or iot below 75%)"; exit 1 } }
+	END { if (bad) { print "coverage gate failed (nn below 80%, jammer below 85%, serve/iot below 75%)"; exit 1 } }
 '

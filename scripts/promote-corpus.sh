@@ -38,7 +38,8 @@ promote internal/phy/wifi FuzzWifiPPDUDecode
 promote internal/rl FuzzCheckpointLoad
 promote internal/nn FuzzForwardBatchEngines
 promote internal/core FuzzSchemeRoundTrip
+promote internal/jammer FuzzJammerSpec
 
 # Replay the (possibly grown) corpora: a promoted input that fails belongs
 # in a bug report, not in the committed corpus.
-go test -count=1 ./internal/phy/zigbee ./internal/phy/wifi ./internal/rl ./internal/nn ./internal/core
+go test -count=1 ./internal/phy/zigbee ./internal/phy/wifi ./internal/rl ./internal/nn ./internal/core ./internal/jammer
